@@ -1,0 +1,42 @@
+"""Coalescing's BMT-update reduction (§VII: '26.1 % on average').
+
+Counts the BMT node updates performed by o3 and coalescing over
+identical epoch streams for all fifteen benchmarks and reports the
+percentage of updates that coalescing removes.
+"""
+
+from repro.analysis.report import Table
+from repro.workloads.spec_profiles import SPEC_PROFILES
+
+from common import archive, run_scheme
+
+
+def run_reduction():
+    table = Table(
+        "Coalescing: BMT node updates removed vs o3 (paper avg: 26.1%)",
+        ["benchmark", "o3 updates", "coalesced", "reduction %"],
+    )
+    reductions = {}
+    for name in SPEC_PROFILES:
+        o3 = run_scheme(name, "o3")
+        coal = run_scheme(name, "coalescing")
+        if o3.node_updates == 0:
+            continue
+        reduction = 100.0 * (o3.node_updates - coal.node_updates) / o3.node_updates
+        reductions[name] = reduction
+        table.add_row(name, o3.node_updates, coal.node_updates, f"{reduction:.1f}")
+    average = sum(reductions.values()) / len(reductions)
+    table.add_row("Average", "", "", f"{average:.1f}")
+    return table, reductions, average
+
+
+def test_coalescing_reduction(benchmark):
+    table, reductions, average = benchmark.pedantic(run_reduction, rounds=1, iterations=1)
+    archive("coalescing_reduction", table.render())
+    # Paper: 26.1 % average reduction; shape tolerance +-15 points.
+    assert 10.0 < average < 45.0
+    # Coalescing never increases update counts.
+    assert all(r >= 0.0 for r in reductions.values())
+    # Spatially local benchmarks (sequential allocation) save the most;
+    # scatter-heavy astar saves the least among high-PPKI profiles.
+    assert reductions["bwaves"] > reductions["astar"]

@@ -1,0 +1,56 @@
+"""Figure 11 — persists per kilo-instruction vs epoch size.
+
+Larger epochs let more stores to the same block collapse into one
+boundary persist, so PPKI decreases monotonically with epoch size
+(sub-linearly — the working pool bounds the collapse).
+"""
+
+from repro.analysis.report import Table
+from repro.persistency.epochs import EpochTracker
+from repro.workloads.spec_profiles import SPEC_PROFILES
+from repro.workloads.trace import OpKind
+
+from common import archive, bench_trace
+
+EPOCH_SIZES = [4, 8, 16, 32, 64, 128, 256]
+
+
+def ppki_for(name, epoch_size):
+    trace = bench_trace(name)
+    tracker = EpochTracker(epoch_size)
+    for record in trace:
+        if record.kind is OpKind.STORE and record.persistent:
+            tracker.record_store(record.block)
+    tracker.flush()
+    return 1000.0 * tracker.total_persists() / trace.instruction_count
+
+
+def run_fig11():
+    table = Table(
+        "Figure 11: PPKI vs epoch size",
+        ["benchmark"] + [str(s) for s in EPOCH_SIZES],
+    )
+    curves = {}
+    for name in SPEC_PROFILES:
+        curve = [ppki_for(name, size) for size in EPOCH_SIZES]
+        curves[name] = curve
+        table.add_row(name, *(f"{v:.2f}" for v in curve))
+    average = [
+        sum(curves[n][i] for n in curves) / len(curves)
+        for i in range(len(EPOCH_SIZES))
+    ]
+    table.add_row("Average", *(f"{v:.2f}" for v in average))
+    return table, curves, average
+
+
+def test_fig11_epoch_ppki(benchmark):
+    table, curves, average = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    archive("fig11_epoch_ppki", table.render())
+    # Monotone non-increasing in epoch size, for every benchmark.
+    for name, curve in curves.items():
+        for a, b in zip(curve, curve[1:]):
+            assert b <= a * 1.02, f"{name}: PPKI rose with epoch size"
+    # Collapse is substantial: epoch 256 persists far less than epoch 4.
+    assert average[-1] < 0.5 * average[0]
+    # Average at epoch 32 tracks Table V's o3 column (12.41).
+    assert 7.0 < average[EPOCH_SIZES.index(32)] < 18.0

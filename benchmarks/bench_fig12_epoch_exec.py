@@ -1,0 +1,48 @@
+"""Figure 12 — coalescing execution time vs epoch size.
+
+Larger epochs reduce persists (Fig. 11) but bunch the write traffic at
+the boundary; beyond ~128 stores the bursty flush can back up the WPQ
+and memory queues, so the curve flattens or regresses (the paper sees
+epoch 256 lose to 128 for gamess, milc, zeusmp).
+"""
+
+from repro.analysis.report import Table
+from repro.sim.stats import geometric_mean
+
+from common import SUBSET, archive, run_scheme
+
+EPOCH_SIZES = [4, 8, 16, 32, 64, 128, 256]
+
+
+def run_fig12():
+    table = Table(
+        "Figure 12: coalescing exec time vs secure_WB, varying epoch size",
+        ["benchmark"] + [str(s) for s in EPOCH_SIZES],
+    )
+    curves = {}
+    for name in SUBSET:
+        base = run_scheme(name, "secure_wb")
+        curve = []
+        for size in EPOCH_SIZES:
+            result = run_scheme(name, "coalescing", epoch_size=size)
+            curve.append(result.slowdown_vs(base))
+        curves[name] = curve
+        table.add_row(name, *(f"{v:.3f}" for v in curve))
+    means = [
+        geometric_mean([curves[n][i] for n in curves])
+        for i in range(len(EPOCH_SIZES))
+    ]
+    table.add_row("geomean", *(f"{v:.3f}" for v in means))
+    return table, curves, means
+
+
+def test_fig12_epoch_exec(benchmark):
+    table, curves, means = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    archive("fig12_epoch_exec", table.render())
+    # Small epochs pay the most (less PLP, more boundary stalls).
+    assert means[0] > means[EPOCH_SIZES.index(32)]
+    # Diminishing returns: the tail of the curve is nearly flat — the
+    # epoch-256 point gains little (or regresses) vs 128.
+    gain_128_to_256 = means[EPOCH_SIZES.index(128)] - means[EPOCH_SIZES.index(256)]
+    gain_4_to_32 = means[0] - means[EPOCH_SIZES.index(32)]
+    assert gain_128_to_256 < 0.5 * gain_4_to_32

@@ -1,0 +1,53 @@
+"""Figure 9 — SP sensitivity to MAC latency and ideal metadata caches.
+
+Sweeps the MAC computation latency over {0, 20, 40, 80} cycles and adds
+an ideal metadata cache (never misses, zero-latency MAC) configuration.
+The paper's finding: MAC computation is the key bottleneck of SP — with
+ideal MDC the overhead nearly vanishes.
+"""
+
+from repro.analysis.report import Table
+from repro.sim.stats import geometric_mean
+
+from common import SUBSET, archive, run_scheme
+
+MAC_LATENCIES = [0, 20, 40, 80]
+
+
+def run_fig9():
+    series = {}
+    for latency in MAC_LATENCIES:
+        ratios = []
+        for name in SUBSET:
+            base = run_scheme(name, "secure_wb")
+            sp = run_scheme(name, "sp", mac_latency=latency)
+            ratios.append(sp.slowdown_vs(base))
+        series[f"mac={latency}"] = geometric_mean(ratios)
+    # Ideal metadata caches + zero-cost MAC.
+    ratios = []
+    for name in SUBSET:
+        base = run_scheme(name, "secure_wb")
+        ideal = run_scheme(name, "sp", mac_latency=0, ideal_metadata=True)
+        ratios.append(ideal.slowdown_vs(base))
+    series["ideal MDC"] = geometric_mean(ratios)
+
+    table = Table(
+        "Figure 9: SP slowdown vs secure_WB, varying MAC latency"
+        f" (geomean over {len(SUBSET)} benchmarks)",
+        ["configuration", "slowdown"],
+    )
+    for label, value in series.items():
+        table.add_row(label, f"{value:.2f}")
+    return table, series
+
+
+def test_fig9_mac_latency(benchmark):
+    table, series = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    archive("fig9_mac_latency", table.render())
+    # Monotone in MAC latency.
+    values = [series[f"mac={l}"] for l in MAC_LATENCIES]
+    assert values == sorted(values)
+    # MAC latency is the key bottleneck: 80 cycles is much worse than 0.
+    assert series["mac=80"] > 2.0 * series["mac=0"]
+    # Ideal metadata caches show negligible overhead (paper: ~none).
+    assert series["ideal MDC"] < 1.5

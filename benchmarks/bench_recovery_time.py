@@ -1,0 +1,58 @@
+"""Post-crash recovery time (extension).
+
+The paper's recovery procedure — rebuild the BMT from persisted counter
+blocks and validate against the on-chip root — is assumed but not
+timed.  This bench estimates it for the Table III machine, full-tree vs
+touched-subtree strategies, using the pages each Table V workload
+actually touches.
+"""
+
+from repro.analysis.report import Table
+from repro.system.config import SystemConfig
+from repro.recovery.rebuild import RecoveryTimeModel
+from repro.workloads.trace import OpKind
+
+from common import SUBSET, archive, bench_trace
+
+
+def run_recovery_time():
+    config = SystemConfig()
+    geometry = config.geometry()
+    model = RecoveryTimeModel(geometry, mac_latency=config.mac_latency)
+    full = model.estimate("full")
+    table = Table(
+        "Post-crash BMT rebuild time (8 GB, full tree "
+        f"= {full.total_seconds() * 1000:.1f} ms)",
+        ["workload", "touched pages", "nodes rehashed", "recovery", "speedup vs full"],
+    )
+    speedups = {}
+    for name in SUBSET:
+        trace = bench_trace(name)
+        pages = {
+            (record.block >> 6) % geometry.num_leaves
+            for record in trace
+            if record.kind is OpKind.STORE and record.persistent
+        }
+        touched = model.estimate("touched", pages)
+        speedup = full.total_cycles / touched.total_cycles
+        speedups[name] = speedup
+        table.add_row(
+            name,
+            len(pages),
+            touched.nodes_recomputed,
+            f"{touched.total_seconds() * 1e6:.1f} us",
+            f"{speedup:,.0f}x",
+        )
+    return table, full, speedups
+
+
+def test_recovery_time(benchmark):
+    table, full, speedups = benchmark.pedantic(
+        run_recovery_time, rounds=1, iterations=1
+    )
+    archive("recovery_time", table.render())
+    # Full rebuild of an 8 GB tree is tens of milliseconds.
+    assert 0.005 < full.total_seconds() < 0.5
+    # Touched-subtree recovery is orders of magnitude faster for these
+    # working sets.
+    assert all(s > 50 for s in speedups.values())

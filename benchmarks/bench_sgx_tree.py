@@ -1,0 +1,58 @@
+"""SGX counter tree vs BMT persist cost (§IV-D).
+
+The SGX-style counter tree embeds per-child counters and keys each
+node's MAC with its parent's counter, so crash recovery requires the
+*whole leaf-to-root path* to persist per write — versus a single root
+update for the BMT.  This bench measures both the persist-traffic blowup
+and the functional cost of a write stream on each structure.
+"""
+
+import random
+
+from repro.analysis.report import Table
+from repro.crypto.bmt import BMTGeometry, BonsaiMerkleTree
+from repro.crypto.keys import KeySchedule
+from repro.crypto.sgx_tree import SGXCounterTree
+
+from common import archive
+
+WRITES = 2000
+
+
+def run_comparison():
+    geometry = BMTGeometry(num_leaves=2**21, arity=8, min_levels=9)
+    keys = KeySchedule()
+    bmt = BonsaiMerkleTree(geometry, keys)
+    sgx = SGXCounterTree(geometry, keys)
+    rng = random.Random(7)
+    leaves = [rng.randrange(4096) for _ in range(WRITES)]
+
+    bmt_persists = 0
+    sgx_persists = 0
+    for leaf in leaves:
+        bmt.update_leaf(leaf, leaf.to_bytes(8, "little") * 8)
+        bmt_persists += 1  # only the root must persist
+        sgx_persists += len(sgx.write(leaf))
+
+    table = Table(
+        "SGX counter tree vs BMT: persist traffic for crash recovery",
+        ["structure", "tree levels", "persists/write", "total persists"],
+    )
+    table.add_row("BMT (root only)", geometry.levels, 1, bmt_persists)
+    table.add_row(
+        "SGX counter tree",
+        geometry.levels,
+        sgx.persist_cost_per_write(),
+        sgx_persists,
+    )
+    return table, bmt_persists, sgx_persists, geometry
+
+
+def test_sgx_tree_persist_cost(benchmark):
+    table, bmt_persists, sgx_persists, geometry = benchmark.pedantic(
+        run_comparison, rounds=1, iterations=1
+    )
+    archive("sgx_tree", table.render())
+    # The counter tree's persist traffic scales with the tree height.
+    assert sgx_persists == bmt_persists * (geometry.levels - 1)
+    assert sgx_persists / bmt_persists == 8

@@ -1,0 +1,46 @@
+"""WPQ size sensitivity (§VII 'Impact of Write Pending Queue Size').
+
+The WPQ bounds how many BMT updates overlap.  The paper: below 32
+entries overhead grows (a 4-entry WPQ costs ~12 % vs 32); beyond 32
+entries there is no further gain — hence 32 is the default.
+"""
+
+from repro.analysis.report import Table
+from repro.sim.stats import geometric_mean
+
+from common import SUBSET, archive, run_scheme
+
+WPQ_SIZES = [4, 8, 16, 32, 64]
+
+
+def run_wpq_sweep():
+    table = Table(
+        "WPQ size sensitivity: coalescing exec time vs secure_WB",
+        ["benchmark"] + [str(s) for s in WPQ_SIZES],
+    )
+    curves = {}
+    for name in SUBSET:
+        base = run_scheme(name, "secure_wb")
+        curve = [
+            run_scheme(name, "coalescing", wpq_entries=size).slowdown_vs(base)
+            for size in WPQ_SIZES
+        ]
+        curves[name] = curve
+        table.add_row(name, *(f"{v:.3f}" for v in curve))
+    means = [
+        geometric_mean([curves[n][i] for n in curves]) for i in range(len(WPQ_SIZES))
+    ]
+    table.add_row("geomean", *(f"{v:.3f}" for v in means))
+    return table, means
+
+
+def test_wpq_sensitivity(benchmark):
+    table, means = benchmark.pedantic(run_wpq_sweep, rounds=1, iterations=1)
+    archive("wpq_sensitivity", table.render())
+    at = {size: means[i] for i, size in enumerate(WPQ_SIZES)}
+    # Small WPQs limit concurrency: 4 entries must be worse than 32.
+    assert at[4] > at[32]
+    # Beyond 32, no meaningful improvement (paper: flat).
+    assert abs(at[64] - at[32]) / at[32] < 0.03
+    # Monotone non-increasing up to the plateau.
+    assert at[4] >= at[8] >= at[16] * 0.999

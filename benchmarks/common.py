@@ -1,0 +1,81 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (table or figure), prints it,
+and archives the rendered text under ``benchmarks/results/`` so that
+``EXPERIMENTS.md`` can be refreshed from a single run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from repro.sim.stats import geometric_mean
+from repro.system.config import SystemConfig
+from repro.system.factory import run_trace
+from repro.system.timing import SimResult
+from repro.workloads.spec_profiles import SPEC_PROFILES, profile_trace
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+TRACE_KI = 25
+"""Trace length (kilo-instructions) for the full 15-benchmark sweeps."""
+
+SUBSET = ["gamess", "bwaves", "gcc", "milc", "zeusmp"]
+"""Representative subset (high/low PPKI, streaming, eviction-heavy) for
+the sensitivity studies."""
+
+_trace_cache: Dict[tuple, object] = {}
+
+
+def bench_trace(name: str, kilo_instructions: int = TRACE_KI, seed: int = 2020):
+    """Cached per-benchmark trace (traces are deterministic)."""
+    key = (name, kilo_instructions, seed)
+    if key not in _trace_cache:
+        _trace_cache[key] = profile_trace(name, kilo_instructions, seed)
+    return _trace_cache[key]
+
+
+def run_scheme(
+    name: str,
+    scheme: str,
+    config: SystemConfig | None = None,
+    kilo_instructions: int = TRACE_KI,
+    **overrides,
+) -> SimResult:
+    """Run one benchmark under one scheme with its calibrated core IPC."""
+    profile = SPEC_PROFILES[name]
+    overrides.setdefault("core_ipc", profile.core_ipc)
+    return run_trace(bench_trace(name, kilo_instructions), scheme, config, **overrides)
+
+
+def slowdowns(
+    names: Iterable[str],
+    schemes: Iterable[str],
+    baseline: str = "secure_wb",
+    **overrides,
+) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark slowdown of each scheme vs the baseline."""
+    out: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        base = run_scheme(name, baseline, **overrides)
+        row = {}
+        for scheme in schemes:
+            row[scheme] = run_scheme(name, scheme, **overrides).slowdown_vs(base)
+        out[name] = row
+    return out
+
+
+def geomean_row(per_bench: Dict[str, Dict[str, float]], schemes: Iterable[str]) -> Dict[str, float]:
+    return {
+        scheme: geometric_mean([row[scheme] for row in per_bench.values()])
+        for scheme in schemes
+    }
+
+
+def archive(name: str, text: str) -> None:
+    """Print the artifact and store it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Crash-recovery failure anatomy: the paper's Tables I and II, live.
+
+Shows what actually goes wrong when a memory-tuple item is lost across a
+power failure on a *non-compliant* secure NVMM (no atomic 2SP persist),
+and that the compliant system shrugs every scenario off.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro.mem.wpq import TupleItem
+from repro.recovery.crash import CrashInjector
+from repro.system.secure_memory import FunctionalSecureMemory
+
+OLD = b"transactional state v1".ljust(64, b"\0")
+NEW = b"transactional state v2".ljust(64, b"\0")
+ADDRESS = 0x40  # block 1
+
+
+def run_scenario(drop_item, atomic):
+    mem = FunctionalSecureMemory(num_pages=64, atomic_tuples=atomic)
+    mem.store(ADDRESS, OLD)
+    victim = mem.store(ADDRESS, NEW)
+    injector = CrashInjector().drop(victim, drop_item)
+    mem.crash(injector)
+    report = mem.recover()
+    return mem, report
+
+
+def table1() -> None:
+    print("=== Table I: losing one tuple item (2SP disabled) ===")
+    print(f"{'dropped item':14s} outcome")
+    print("-" * 60)
+    for item in (TupleItem.ROOT_ACK, TupleItem.MAC, TupleItem.COUNTER, TupleItem.DATA):
+        _, report = run_scenario(item, atomic=False)
+        print(f"{item.value:14s} {report.outcome_row(1)}")
+    print()
+
+
+def defense() -> None:
+    print("=== Same crashes with the paper's atomic 2SP persist ===")
+    print(f"{'dropped item':14s} outcome")
+    print("-" * 60)
+    for item in TupleItem:
+        mem, report = run_scenario(item, atomic=True)
+        recovered = mem.load(ADDRESS)
+        state = "rolled back to v1" if recovered == OLD else "v2 durable"
+        print(f"{item.value:14s} recovered={report.recovered} ({state})")
+    print()
+
+
+def table2() -> None:
+    print("=== Table II: tuple-ordering violations between two persists ===")
+    scenarios = {
+        "gamma1 -> gamma2": TupleItem.COUNTER,
+        "M1 -> M2": TupleItem.MAC,
+        "R1 -> R2": TupleItem.ROOT_ACK,
+    }
+    print(f"{'violated order':18s} outcome for the older persist")
+    print("-" * 60)
+    for label, item in scenarios.items():
+        mem = FunctionalSecureMemory(num_pages=64, atomic_tuples=False)
+        first = mem.store(0x00, OLD)   # alpha-1, page 0
+        second = mem.store(0x1000, NEW)  # alpha-2, page 1
+        # The younger persist's item lands; the older one's is lost:
+        # exactly the inversion Invariant 2 forbids.
+        victim = first if item is not TupleItem.ROOT_ACK else second
+        mem.crash(CrashInjector().drop(victim, item))
+        report = mem.recover()
+        block = 0 if victim == first else 64
+        print(f"{label:18s} {report.outcome_row(block)}")
+    print()
+
+
+def attack_demo() -> None:
+    print("=== Bonus: active attacks are detected at load time ===")
+    mem = FunctionalSecureMemory(num_pages=64)
+    mem.store(ADDRESS, NEW)
+    mem.drain()
+    mem._volatile_data.clear()
+
+    # Replay attack: restore yesterday's counter block.
+    old_counter = dict(mem.nvm.counters)
+    mem.store(ADDRESS, OLD)
+    mem.drain()
+    mem._volatile_data.clear()
+    mem.tamper_counter(0, old_counter[0])
+    try:
+        mem.load(ADDRESS)
+        print("replay attack: NOT detected (bug!)")
+    except Exception as exc:
+        print(f"replay attack detected: {exc}")
+
+
+if __name__ == "__main__":
+    table1()
+    defense()
+    table2()
+    attack_demo()

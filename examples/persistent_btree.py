@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""A crash-consistent B-tree living entirely in secure persistent memory.
+
+Every node is one 64-byte block (the secure memory's protection
+granularity).  Inserts are durable transactions under epoch persistency:
+all node writes of an insert (leaf update, splits, root changes, the
+allocator bump) belong to one epoch, committed by a single persist
+barrier.  A crash mid-insert rolls the whole insert back; committed
+inserts always survive — and every recovered node re-verifies through
+counter-mode decryption, its stateful MAC, and the Bonsai Merkle Tree.
+
+Node layout (64 bytes):
+    [0]    node type: 0 = leaf, 1 = internal
+    [1]    entry count
+    [2:4]  reserved
+    [4:28]  6 x u32 keys
+    [28:52] 6 x u32 values (leaf) or child node ids (internal)
+    [52:64] reserved
+
+Run:  python examples/persistent_btree.py
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from typing import List, Optional, Tuple
+
+from repro.persistency.models import PersistencyModel
+from repro.system.secure_memory import FunctionalSecureMemory
+
+ORDER = 6  # keys per node
+LEAF, INTERNAL = 0, 1
+META_BLOCK = 0  # block 0 holds (root id, next free id)
+
+
+class SecureBTree:
+    """A B-tree of 64-byte nodes over :class:`FunctionalSecureMemory`."""
+
+    def __init__(self, num_pages: int = 1024) -> None:
+        self.memory = FunctionalSecureMemory(
+            num_pages=num_pages,
+            persistency=PersistencyModel.EPOCH,
+            epoch_size=None,  # explicit commits only
+        )
+        root = self._write_node(1, LEAF, [], [])
+        self._write_meta(root_id=root, next_free=2)
+        self.memory.barrier()
+
+    # ------------------------------------------------------------------
+    # node (de)serialization
+    # ------------------------------------------------------------------
+
+    def _write_node(self, node_id: int, kind: int, keys: List[int], vals: List[int]) -> int:
+        payload = struct.pack(
+            "<BBxx6I6I12x",
+            kind,
+            len(keys),
+            *(keys + [0] * (ORDER - len(keys))),
+            *(vals + [0] * (ORDER - len(vals))),
+        )
+        self.memory.store(node_id * 64, payload)
+        return node_id
+
+    def _read_node(self, node_id: int) -> Tuple[int, List[int], List[int]]:
+        raw = self.memory.load(node_id * 64)
+        kind, count = raw[0], raw[1]
+        keys = list(struct.unpack("<6I", raw[4:28]))[:count]
+        vals = list(struct.unpack("<6I", raw[28:52]))[:count]
+        return kind, keys, vals
+
+    def _write_meta(self, root_id: int, next_free: int) -> None:
+        self.memory.store(
+            META_BLOCK * 64, struct.pack("<II56x", root_id, next_free)
+        )
+
+    def _read_meta(self) -> Tuple[int, int]:
+        raw = self.memory.load(META_BLOCK * 64)
+        return struct.unpack("<II", raw[:8])
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> None:
+        """Durably insert (commits a transaction on return)."""
+        root_id, next_free = self._read_meta()
+        split = self._insert_into(root_id, key, value)
+        if split is not None:
+            mid_key, right_id = split
+            root_id2, next_free = self._read_meta()
+            new_root = next_free
+            self._write_node(new_root, INTERNAL, [mid_key], [root_id, right_id])
+            # An internal node with N+1 children stores N keys; pack the
+            # extra child in vals by convention: vals = children[:-1] +
+            # [children[-1]] handled via count+1 children (see _child_of).
+            self._write_meta(root_id=new_root, next_free=new_root + 1)
+        self.memory.barrier()  # durable transaction commit
+
+    def _child_of(self, keys: List[int], children: List[int], key: int) -> int:
+        for i, k in enumerate(keys):
+            if key < k:
+                return children[i]
+        return children[len(keys)]
+
+    def _insert_into(self, node_id: int, key: int, value: int) -> Optional[Tuple[int, int]]:
+        kind, keys, vals = self._read_node(node_id)
+        if kind == LEAF:
+            if key in keys:
+                vals[keys.index(key)] = value
+                self._write_node(node_id, LEAF, keys, vals)
+                return None
+            position = sum(1 for k in keys if k < key)
+            keys.insert(position, key)
+            vals.insert(position, value)
+            if len(keys) <= ORDER:
+                self._write_node(node_id, LEAF, keys, vals)
+                return None
+            return self._split(node_id, LEAF, keys, vals)
+        # Internal node: child pointers are vals[:count+1]; re-read raw
+        # to get the extra child.
+        raw = self.memory.load(node_id * 64)
+        count = raw[1]
+        children = list(struct.unpack("<6I", raw[28:52]))[: count + 1]
+        child = self._child_of(keys, children, key)
+        split = self._insert_into(child, key, value)
+        if split is None:
+            return None
+        mid_key, right_id = split
+        position = sum(1 for k in keys if k < mid_key)
+        keys.insert(position, mid_key)
+        children.insert(position + 1, right_id)
+        if len(keys) < ORDER:
+            self._write_internal(node_id, keys, children)
+            return None
+        return self._split_internal(node_id, keys, children)
+
+    def _write_internal(self, node_id: int, keys: List[int], children: List[int]) -> None:
+        payload = struct.pack(
+            "<BBxx6I6I12x",
+            INTERNAL,
+            len(keys),
+            *(keys + [0] * (ORDER - len(keys))),
+            *(children + [0] * (ORDER - len(children))),
+        )
+        self.memory.store(node_id * 64, payload)
+
+    def _split(self, node_id: int, kind: int, keys: List[int], vals: List[int]) -> Tuple[int, int]:
+        root_id, next_free = self._read_meta()
+        mid = len(keys) // 2
+        right_id = next_free
+        self._write_node(node_id, kind, keys[:mid], vals[:mid])
+        self._write_node(right_id, kind, keys[mid:], vals[mid:])
+        self._write_meta(root_id=root_id, next_free=right_id + 1)
+        return keys[mid], right_id
+
+    def _split_internal(self, node_id: int, keys: List[int], children: List[int]) -> Tuple[int, int]:
+        root_id, next_free = self._read_meta()
+        mid = len(keys) // 2
+        right_id = next_free
+        self._write_internal(node_id, keys[:mid], children[: mid + 1])
+        self._write_internal(right_id, keys[mid + 1 :], children[mid + 1 :])
+        self._write_meta(root_id=root_id, next_free=right_id + 1)
+        return keys[mid], right_id
+
+    def search(self, key: int) -> Optional[int]:
+        node_id, _ = self._read_meta()
+        while True:
+            kind, keys, vals = self._read_node(node_id)
+            if kind == LEAF:
+                return vals[keys.index(key)] if key in keys else None
+            raw = self.memory.load(node_id * 64)
+            children = list(struct.unpack("<6I", raw[28:52]))[: raw[1] + 1]
+            node_id = self._child_of(keys, children, key)
+
+    def crash_and_recover(self) -> bool:
+        self.memory.crash()
+        return self.memory.recover().recovered
+
+
+def main() -> None:
+    rng = random.Random(1)
+    tree = SecureBTree()
+    committed = {}
+
+    print("=== Persistent B-tree over secure NVMM ===")
+    for i in range(300):
+        key, value = rng.randrange(10_000), rng.randrange(1 << 31)
+        tree.insert(key, value)
+        committed[key] = value
+    print(f"inserted {len(committed)} distinct keys (300 durable transactions)")
+
+    # Power failure with an uncommitted insert in flight.
+    tree.memory.store(999 * 64, b"\x00" * 64)  # torn write, no barrier
+    ok = tree.crash_and_recover()
+    print(f"crash + recovery verified: {ok}")
+
+    errors = sum(1 for k, v in committed.items() if tree.search(k) != v)
+    print(f"all {len(committed)} committed keys intact: {errors == 0}")
+    missing = tree.search(99_999)
+    print(f"absent key correctly missing: {missing is None}")
+
+    # Keep inserting after recovery.
+    tree.insert(42, 4242)
+    print(f"post-recovery insert works: {tree.search(42) == 4242}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""A durable key-value store on top of the secure persistent memory.
+
+The motivating use case from the paper's introduction: persistent data
+structures kept directly in memory, with durable transactions built on
+epoch persistency.  Each PUT appends a log record and updates the key's
+slot, then issues a persist barrier — the epoch boundary is the commit
+point.  A crash rolls back to the last committed transaction and never
+trips integrity verification.
+
+Also demonstrates the performance side: the same access pattern driven
+through the timing simulator under each BMT update scheme.
+
+Run:  python examples/persistent_kvstore.py
+"""
+
+import random
+
+from repro.persistency.models import PersistencyModel
+from repro.system.config import SystemConfig
+from repro.system.factory import run_trace
+from repro.system.secure_memory import FunctionalSecureMemory
+from repro.workloads.synthetic import kvstore_trace
+
+SLOT_BYTES = 64
+TABLE_BASE = 0x10000
+LOG_BASE = 0x0
+
+
+class SecureKVStore:
+    """A tiny crash-recoverable KV store (fixed-size string values)."""
+
+    def __init__(self, num_keys: int = 256) -> None:
+        self.num_keys = num_keys
+        self.memory = FunctionalSecureMemory(
+            num_pages=1024,
+            persistency=PersistencyModel.EPOCH,
+            epoch_size=None,  # explicit commit points only
+        )
+        self._log_cursor = 0
+
+    def _slot(self, key: int) -> int:
+        if not 0 <= key < self.num_keys:
+            raise KeyError(key)
+        return TABLE_BASE + key * SLOT_BYTES
+
+    def put(self, key: int, value: bytes) -> None:
+        """Durably set ``key`` to ``value`` (committed on return)."""
+        record = (key.to_bytes(4, "little") + value).ljust(SLOT_BYTES, b"\0")[:64]
+        self.memory.store(LOG_BASE + self._log_cursor * SLOT_BYTES, record)
+        self._log_cursor += 1
+        self.memory.store(self._slot(key), value.ljust(SLOT_BYTES, b"\0")[:64])
+        self.memory.barrier()  # durable transaction commit
+
+    def get(self, key: int) -> bytes:
+        return self.memory.load(self._slot(key)).rstrip(b"\0")
+
+    def crash_and_recover(self) -> bool:
+        self.memory.crash()
+        return self.memory.recover().recovered
+
+
+def durability_demo() -> None:
+    print("=== Durable transactions over secure NVMM ===")
+    store = SecureKVStore()
+    store.put(1, b"alpha")
+    store.put(2, b"bravo")
+
+    # An uncommitted transaction in flight at the crash...
+    store.memory.store(store._slot(3), b"charlie".ljust(64, b"\0"))
+    print("committed: key1, key2; in flight (no barrier yet): key3")
+
+    ok = store.crash_and_recover()
+    print(f"recovered cleanly: {ok}")
+    print(f"key 1 = {store.get(1).decode()}")
+    print(f"key 2 = {store.get(2).decode()}")
+    print(f"key 3 empty (rolled back): {store.get(3) == b''}")
+    print()
+
+
+def performance_demo() -> None:
+    print("=== KV workload under each update scheme ===")
+    trace = kvstore_trace(3000, num_keys=2048, put_fraction=0.5, seed=11)
+    config = SystemConfig(core_ipc=2.0)
+    results = {}
+    for scheme in ("secure_wb", "sp", "pipeline", "o3", "coalescing"):
+        results[scheme] = run_trace(trace, scheme, config)
+    base = results["secure_wb"]
+    print(f"{'scheme':12s} {'cycles':>12s} {'slowdown':>9s} {'persists':>9s}")
+    for name, result in results.items():
+        print(
+            f"{name:12s} {result.cycles:>12,} "
+            f"{result.slowdown_vs(base):>8.2f}x {result.persists:>9}"
+        )
+    print()
+    print("Small durable transactions mean tiny epochs (2 stores), so")
+    print("epoch persistency gets little intra-epoch parallelism here —")
+    print("the paper's point that PLP grows with epoch size.  Batching")
+    print("commits (larger epochs) closes the gap:")
+    batched = kvstore_trace(3000, num_keys=2048, put_fraction=0.5, seed=11)
+    batched.records = [r for r in batched.records if r.kind.value != "F"]
+    for scheme in ("o3", "coalescing"):
+        result = run_trace(trace=batched, scheme=scheme, config=config)
+        print(f"  {scheme:12s} epoch=32: {result.slowdown_vs(run_trace(batched, 'secure_wb', config)):.2f}x")
+
+
+if __name__ == "__main__":
+    random.seed(0)
+    durability_demo()
+    performance_demo()

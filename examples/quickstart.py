@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: the public API in five minutes.
+
+1. Store and load through a byte-accurate secure persistent memory.
+2. Crash it and recover.
+3. Compare the paper's BMT update schemes on a SPEC-like workload.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FunctionalSecureMemory, run_benchmark
+
+
+def functional_demo() -> None:
+    print("=== Functional secure NVMM ===")
+    mem = FunctionalSecureMemory(num_pages=256)
+
+    # Every persistent store runs the full pipeline: split-counter
+    # increment, counter-mode encryption, stateful MAC, BMT update —
+    # and lands its memory tuple (C, gamma, M, R) in the persist domain.
+    payload = b"hello, persistent world!".ljust(64, b"\0")
+    persist_id = mem.store(0x0000, payload)
+    print(f"stored one block (persist id {persist_id})")
+    print(f"NVM holds ciphertext: {mem.load(0x0000) != mem.nvm.data.get(0)}")
+
+    # Power failure: volatile caches and the in-SRAM tree are gone.
+    mem.crash()
+    report = mem.recover()
+    print(f"recovered after crash: {report.recovered}")
+    print(f"value survives: {mem.load(0x0000) == payload}")
+    print()
+
+
+def timing_demo() -> None:
+    print("=== Scheme comparison (gamess profile, Table IV schemes) ===")
+    results = run_benchmark(
+        "gamess",
+        ["secure_wb", "sp", "pipeline", "o3", "coalescing"],
+        kilo_instructions=20,
+    )
+    base = results["secure_wb"]
+    print(f"{'scheme':12s} {'cycles':>12s} {'IPC':>7s} {'slowdown':>9s}")
+    for name, result in results.items():
+        print(
+            f"{name:12s} {result.cycles:>12,} {result.ipc:>7.3f} "
+            f"{result.slowdown_vs(base):>8.2f}x"
+        )
+    print()
+    print("sp pays a full sequential leaf-to-root BMT walk per store;")
+    print("pipelining overlaps tree levels; epoch persistency (o3 /")
+    print("coalescing) gets within ~tens of percent of no persistency.")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    timing_demo()

@@ -1,0 +1,56 @@
+"""Reproduction of *Persist Level Parallelism: Streamlining Integrity
+Tree Updates for Secure Persistent Memory* (Freij, Yuan, Zhou, Solihin —
+MICRO 2020).
+
+The package provides:
+
+* a byte-accurate **functional secure NVMM** (counter-mode encryption,
+  stateful MACs, Bonsai Merkle Tree) with crash/recovery semantics —
+  :class:`repro.system.FunctionalSecureMemory`;
+* the paper's **PLP update mechanisms** (sequential, pipelined,
+  out-of-order, coalescing) as both cycle-accurate hardware-table models
+  and fast scoreboards — :mod:`repro.core`;
+* a **trace-driven timing simulator** with SPEC2006-calibrated synthetic
+  workloads — :class:`repro.system.TraceSimulator`,
+  :mod:`repro.workloads`;
+* **crash injection and recovery checking** reproducing the paper's
+  Table I/II failure analysis — :mod:`repro.recovery`.
+
+Quickstart::
+
+    from repro.system import run_benchmark
+
+    results = run_benchmark("gamess", ["secure_wb", "sp", "coalescing"])
+    base = results["secure_wb"]
+    for name, result in results.items():
+        print(name, result.slowdown_vs(base))
+"""
+
+from repro.core.schemes import UpdateScheme
+from repro.persistency.models import PersistencyModel
+from repro.system import (
+    FunctionalSecureMemory,
+    IntegrityError,
+    SimResult,
+    SystemConfig,
+    TraceSimulator,
+    build_simulator,
+    run_benchmark,
+    run_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UpdateScheme",
+    "PersistencyModel",
+    "FunctionalSecureMemory",
+    "IntegrityError",
+    "SimResult",
+    "SystemConfig",
+    "TraceSimulator",
+    "build_simulator",
+    "run_benchmark",
+    "run_trace",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Result aggregation and table/figure rendering for the harness."""
+
+from repro.analysis.report import Table, format_series, normalized
+
+__all__ = ["Table", "format_series", "normalized"]

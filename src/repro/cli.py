@@ -1,0 +1,253 @@
+"""Command-line interface.
+
+Examples::
+
+    plp-repro list
+    plp-repro run gamess --schemes secure_wb,sp,coalescing --ki 20
+    plp-repro sweep --benchmark gcc --scheme coalescing \\
+        --param epoch_size --values 4,8,16,32,64,128,256
+    plp-repro crash --drop mac
+    plp-repro rebuild-time --pages 4096
+
+(Or ``python -m repro ...``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.report import Table
+from repro.core.schemes import UpdateScheme
+from repro.mem.wpq import TupleItem
+from repro.recovery.crash import CrashInjector
+from repro.recovery.rebuild import RecoveryTimeModel
+from repro.system.config import SystemConfig
+from repro.system.factory import run_benchmark
+from repro.system.secure_memory import FunctionalSecureMemory
+from repro.workloads.spec_profiles import SPEC_PROFILES
+
+DEFAULT_SCHEMES = "secure_wb,sp,pipeline,o3,coalescing"
+
+_DROP_ITEMS = {
+    "data": TupleItem.DATA,
+    "counter": TupleItem.COUNTER,
+    "mac": TupleItem.MAC,
+    "root": TupleItem.ROOT_ACK,
+}
+
+
+def _parse_schemes(raw: str) -> List[UpdateScheme]:
+    return [UpdateScheme.from_name(name.strip()) for name in raw.split(",") if name.strip()]
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    table = Table("Schemes (paper Table IV + extensions)", ["name", "persistency", "crash recoverable"])
+    for scheme in UpdateScheme:
+        table.add_row(scheme.value, scheme.persistency.value, str(scheme.crash_recoverable))
+    print(table)
+    print()
+    bench = Table("Benchmarks (Table V profiles)", ["name", "stores/KI", "non-stack/KI", "o3/KI", "core IPC"])
+    for name, profile in SPEC_PROFILES.items():
+        bench.add_row(
+            name,
+            f"{profile.sp_full_ppki:.2f}",
+            f"{profile.sp_ppki:.2f}",
+            f"{profile.o3_ppki:.2f}",
+            f"{profile.core_ipc:.2f}",
+        )
+    print(bench)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    schemes = _parse_schemes(args.schemes)
+    if args.benchmark not in SPEC_PROFILES:
+        print(f"unknown benchmark {args.benchmark!r}; see `plp-repro list`", file=sys.stderr)
+        return 2
+    results = run_benchmark(
+        args.benchmark,
+        schemes,
+        kilo_instructions=args.ki,
+        seed=args.seed,
+        protect_stack=args.full_memory,
+    )
+    base_name = schemes[0].value
+    base = results[base_name]
+    table = Table(
+        f"{args.benchmark} ({args.ki} KI, {'full memory' if args.full_memory else 'non-stack'})",
+        ["scheme", "cycles", "IPC", "PPKI", f"vs {base_name}"],
+    )
+    for name, result in results.items():
+        table.add_row(
+            name,
+            f"{result.cycles:,}",
+            f"{result.ipc:.3f}",
+            f"{result.ppki:.2f}",
+            f"{result.slowdown_vs(base):.2f}x",
+        )
+    print(table)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    scheme = UpdateScheme.from_name(args.scheme)
+    values = [int(v) for v in args.values.split(",")]
+    if not hasattr(SystemConfig(), args.param):
+        print(f"unknown SystemConfig parameter {args.param!r}", file=sys.stderr)
+        return 2
+    table = Table(
+        f"{args.benchmark} / {scheme.value}: sweep of {args.param}",
+        [args.param, "cycles", "vs secure_wb"],
+    )
+    for value in values:
+        results = run_benchmark(
+            args.benchmark,
+            ["secure_wb", scheme],
+            kilo_instructions=args.ki,
+            **{args.param: value},
+        )
+        result = results[scheme.value]
+        base = results["secure_wb"]
+        table.add_row(str(value), f"{result.cycles:,}", f"{result.slowdown_vs(base):.3f}x")
+    print(table)
+    return 0
+
+
+def cmd_crash(args: argparse.Namespace) -> int:
+    item = _DROP_ITEMS[args.drop]
+    mem = FunctionalSecureMemory(num_pages=64, atomic_tuples=args.atomic)
+    mem.store(0, b"old value".ljust(64, b"\0"))
+    victim = mem.store(0, b"new value".ljust(64, b"\0"))
+    mem.crash(CrashInjector().drop(victim, item))
+    report = mem.recover()
+    mode = "2SP atomic" if args.atomic else "non-atomic (broken)"
+    print(f"mode: {mode}; dropped tuple item: {args.drop}")
+    print(f"recovered consistently: {report.recovered}")
+    if report.recovered:
+        value = mem.load(0).rstrip(b"\0").decode()
+        print(f"durable value after recovery: {value!r}")
+    else:
+        print(f"failure outcome: {report.outcome_row(0)}")
+    return 0
+
+
+def _bar(value: float, scale: float, width: int = 40) -> str:
+    filled = max(1, round(value / scale * width)) if value > 0 else 0
+    return "#" * min(width, filled)
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Render a paper figure as ASCII bars from fresh simulations."""
+    import math
+
+    figures = {
+        "fig8": (["unordered", "sp", "pipeline"], True),
+        "fig10": (["o3", "coalescing"], False),
+    }
+    if args.name not in figures:
+        print(f"unknown figure {args.name!r}; choose from {sorted(figures)}", file=sys.stderr)
+        return 2
+    schemes, log2 = figures[args.name]
+    rows = []
+    for bench in SPEC_PROFILES:
+        results = run_benchmark(bench, ["secure_wb"] + schemes, kilo_instructions=args.ki)
+        base = results["secure_wb"]
+        rows.append((bench, {s: results[s].slowdown_vs(base) for s in schemes}))
+    scale = max(
+        (math.log2(max(v, 1.01)) if log2 else v)
+        for _, values in rows
+        for v in values.values()
+    )
+    unit = "log2 slowdown" if log2 else "slowdown"
+    print(f"{args.name}: exec time normalized to secure_WB ({unit})")
+    for bench, values in rows:
+        print(bench)
+        for scheme in schemes:
+            value = values[scheme]
+            magnitude = math.log2(max(value, 1.01)) if log2 else value
+            print(f"  {scheme:10s} {value:7.2f}x |{_bar(magnitude, scale)}")
+    return 0
+
+
+def cmd_rebuild_time(args: argparse.Namespace) -> int:
+    config = SystemConfig()
+    model = RecoveryTimeModel(config.geometry(), mac_latency=config.mac_latency)
+    table = Table(
+        f"Post-crash BMT rebuild ({config.memory_bytes // 2**30} GB memory, "
+        f"{args.pages} touched pages)",
+        ["strategy", "counter reads", "nodes hashed", "cycles", "time"],
+    )
+    for estimate in (model.estimate("full"), model.estimate("touched", range(args.pages))):
+        table.add_row(
+            estimate.strategy,
+            f"{estimate.counter_blocks_read:,}",
+            f"{estimate.nodes_recomputed:,}",
+            f"{estimate.total_cycles:,}",
+            f"{estimate.total_seconds() * 1000:.3f} ms",
+        )
+    print(table)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="plp-repro",
+        description="Persist Level Parallelism (MICRO 2020) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list schemes and benchmark profiles").set_defaults(func=cmd_list)
+
+    run = sub.add_parser("run", help="simulate one benchmark under several schemes")
+    run.add_argument("benchmark", help="Table V benchmark name")
+    run.add_argument("--schemes", default=DEFAULT_SCHEMES, help="comma-separated scheme list")
+    run.add_argument("--ki", type=int, default=25, help="trace length in kilo-instructions")
+    run.add_argument("--seed", type=int, default=2020)
+    run.add_argument("--full-memory", action="store_true", help="persist the stack too ('_full' configs)")
+    run.set_defaults(func=cmd_run)
+
+    sweep = sub.add_parser("sweep", help="sweep one SystemConfig parameter")
+    sweep.add_argument("--benchmark", default="gamess")
+    sweep.add_argument("--scheme", default="coalescing")
+    sweep.add_argument("--param", default="epoch_size")
+    sweep.add_argument("--values", default="4,8,16,32,64,128,256")
+    sweep.add_argument("--ki", type=int, default=25)
+    sweep.set_defaults(func=cmd_sweep)
+
+    crash = sub.add_parser("crash", help="crash-injection demo (Table I rows)")
+    crash.add_argument("--drop", choices=sorted(_DROP_ITEMS), default="mac")
+    crash.add_argument("--atomic", action="store_true", help="enable the 2SP defense")
+    crash.set_defaults(func=cmd_crash)
+
+    rebuild = sub.add_parser("rebuild-time", help="estimate post-crash BMT rebuild time")
+    rebuild.add_argument("--pages", type=int, default=4096, help="touched pages")
+    rebuild.set_defaults(func=cmd_rebuild_time)
+
+    figure = sub.add_parser("figure", help="render a paper figure as ASCII bars")
+    figure.add_argument("name", choices=["fig8", "fig10"])
+    figure.add_argument("--ki", type=int, default=15)
+    figure.set_defaults(func=cmd_figure)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""The memory-controller persist pipeline (paper Fig. 6, steps ①–⑤).
+
+Ties the persist-gathering WPQ and the cycle-accurate BMT update engine
+together exactly as §V describes:
+
+① a persist allocates a WPQ entry and a PTT entry;
+② the engine looks up / fetches the pending BMT node and updates it;
+③ the scheduler advances persists across levels per the active scheme;
+④ next-node logic walks each persist up its update path;
+⑤ on the root update the WPQ is notified (``root ack``), the persist is
+  marked complete, and its blocks become releasable to NVM.
+
+This is the faithful integration model: tuple components arrive at the
+WPQ with configurable delays, the 2SP completion condition is evaluated
+by the WPQ itself, and epoch unlocking follows the ETT.  It is used by
+the tests and the ``scheme_explorer`` example; the trace-scale
+simulations use the scoreboard fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.schemes import UpdateScheme
+from repro.core.update_engine import CycleAccurateEngine, EngineConfig
+from repro.crypto.bmt import BMTGeometry
+from repro.mem.metadata_cache import MetadataCaches
+from repro.mem.wpq import TupleItem, WritePendingQueue
+
+
+@dataclass
+class PersistOutcome:
+    """Lifetime of one persist through the controller."""
+
+    persist_id: int
+    epoch_id: int
+    issued_cycle: int
+    tuple_gathered_cycle: int
+    root_ack_cycle: int
+    completed_cycle: int
+
+    @property
+    def latency(self) -> int:
+        return self.completed_cycle - self.issued_cycle
+
+
+class MemoryControllerPipeline:
+    """WPQ + BMT update engine, evaluated cycle by cycle."""
+
+    def __init__(
+        self,
+        geometry: BMTGeometry,
+        scheme: UpdateScheme = UpdateScheme.SP,
+        wpq_capacity: int = 32,
+        mac_latency: int = 40,
+        tuple_gather_delay: int = 4,
+        metadata: Optional[MetadataCaches] = None,
+    ) -> None:
+        """Create the pipeline.
+
+        Args:
+            geometry: BMT shape.
+            scheme: BMT update scheme.
+            wpq_capacity: Persist-gathering queue entries.
+            mac_latency: Engine node-update latency.
+            tuple_gather_delay: Cycles for a persist's C/γ/M to reach
+                the WPQ after issue (they travel from the LLC).
+            metadata: Optional metadata caches for BMT miss modelling.
+        """
+        self.geometry = geometry
+        self.scheme = scheme
+        self.wpq = WritePendingQueue(wpq_capacity)
+        self.engine = CycleAccurateEngine(
+            geometry,
+            EngineConfig(scheme=scheme, mac_latency=mac_latency),
+            metadata=metadata,
+            on_root_ack=self._on_root_ack,
+        )
+        self.tuple_gather_delay = tuple_gather_delay
+        self.outcomes: Dict[int, PersistOutcome] = {}
+        self._pending_tuples: List = []  # (arrival_cycle, persist_id)
+        self._issued: Dict[int, int] = {}
+        self._gathered: Dict[int, int] = {}
+        self._acks: Dict[int, int] = {}
+        self.released: List[int] = []
+
+    @property
+    def now(self) -> int:
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # issue
+    # ------------------------------------------------------------------
+
+    def issue_persist(self, persist_id: int, leaf_index: int, epoch_id: int = 0) -> bool:
+        """Step ①: allocate WPQ + PTT entries for a new persist.
+
+        Returns:
+            ``False`` on structural back-pressure (full WPQ or PTT/ETT).
+        """
+        if self.wpq.full or not self.engine.can_accept(epoch_id):
+            return False
+        locked = not (
+            self.scheme.uses_epochs
+            and self._epoch_is_current(epoch_id)
+        )
+        self.wpq.allocate(persist_id, epoch_id=epoch_id, locked=locked)
+        accepted = self.engine.submit(persist_id, leaf_index, epoch_id)
+        assert accepted, "engine rejected a persist after can_accept()"
+        self._issued[persist_id] = self.now
+        # C/γ/M arrive after a short transfer delay (step ② runs
+        # concurrently in the engine).
+        self._pending_tuples.append(
+            (self.now + self.tuple_gather_delay, persist_id)
+        )
+        return True
+
+    def _epoch_is_current(self, epoch_id: int) -> bool:
+        """Same-epoch persists are unlocked (they may drain early)."""
+        oldest = self.engine.ett.oldest()
+        return oldest is None or epoch_id == self.engine.ett.gec - 1 or (
+            oldest.epoch_id == epoch_id
+        )
+
+    # ------------------------------------------------------------------
+    # per-cycle evaluation
+    # ------------------------------------------------------------------
+
+    def tick(self, cycles: int = 1) -> None:
+        for _ in range(cycles):
+            self._deliver_tuples()
+            self.engine.tick()
+            self._release_completed()
+
+    def run_until_drained(self, max_cycles: int = 10_000_000) -> int:
+        start = self.now
+        while len(self.wpq) or not self.engine.ptt.empty:
+            if self.now - start > max_cycles:
+                raise RuntimeError("controller failed to drain")
+            self.tick()
+        return self.now
+
+    def _deliver_tuples(self) -> None:
+        remaining = []
+        for arrival, persist_id in self._pending_tuples:
+            if arrival > self.now:
+                remaining.append((arrival, persist_id))
+                continue
+            for item in (TupleItem.DATA, TupleItem.COUNTER, TupleItem.MAC):
+                self.wpq.deliver(persist_id, item)
+            self._gathered[persist_id] = self.now
+        self._pending_tuples = remaining
+
+    def _on_root_ack(self, persist_id: int, cycle: int) -> None:
+        """Step ⑤: the engine notifies the WPQ of the root update."""
+        self._acks[persist_id] = cycle
+        self.wpq.ack_root(persist_id)
+
+    def _release_completed(self) -> None:
+        for entry in self.wpq.drain_completed():
+            self.released.append(entry.persist_id)
+            self.outcomes[entry.persist_id] = PersistOutcome(
+                persist_id=entry.persist_id,
+                epoch_id=entry.epoch_id or 0,
+                issued_cycle=self._issued[entry.persist_id],
+                tuple_gathered_cycle=self._gathered.get(entry.persist_id, -1),
+                root_ack_cycle=self._acks.get(entry.persist_id, -1),
+                completed_cycle=self.now,
+            )

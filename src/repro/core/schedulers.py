@@ -1,0 +1,373 @@
+"""Closed-form scoreboard models of the BMT update engines.
+
+For trace-scale simulation, stepping the cycle-accurate engine is too
+slow in pure Python, so each scheme has an equivalent *scoreboard*: a
+per-persist recurrence that computes node-update and root-completion
+times directly.
+
+* sequential (sp):   ``done = max(arrival, engine_free) + Σ level costs``
+* pipeline:          ``t(i, L) = max(t(i, L+1), t(i-1, L)) + cost(L)``
+  — persist *i* may start level *L* only after persist *i−1* completed
+  its level-*L* update (exactly the cycle engine's rule, so the two
+  models agree cycle-for-cycle; the tests assert this).
+* o3 / coalescing:   per-persist serial path latency, a 1-update/cycle
+  MAC issue port, root completion gated on the previous epoch, and
+  admission gated on the epoch two back (2-entry ETT).
+* unordered:         the strawman — stores do not wait for the root at
+  all (completion == arrival); node updates still occupy the engine.
+
+All scoreboards share the BMT cache for miss modelling, and report node
+update counts, so coalescing's update reduction (~26 % in the paper) is
+measured, not assumed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.coalescing import CoalescedPersist, CoalescingUnit
+from repro.core.schemes import UpdateScheme
+from repro.crypto.bmt import BMTGeometry
+from repro.mem.metadata_cache import MetadataCaches
+
+
+@dataclass
+class PersistTiming:
+    """Timing outcome for one persist."""
+
+    persist_id: int
+    arrival: int
+    completion: int
+    node_updates: int
+
+
+class OccupancyRing:
+    """FIFO structural-hazard model (WPQ/PTT slot availability).
+
+    Entries are admitted with a known release time; when the ring is
+    full, a new admission waits for the oldest entry to release.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._releases: Deque[int] = deque()
+
+    def admit(self, now: int) -> int:
+        """Earliest cycle at which a slot is free (>= now)."""
+        while self._releases and self._releases[0] <= now:
+            self._releases.popleft()
+        if len(self._releases) < self.capacity:
+            return now
+        return self._releases[len(self._releases) - self.capacity]
+
+    def occupy(self, release_time: int) -> None:
+        """Record an admitted entry that frees its slot at ``release_time``."""
+        if self._releases and release_time < self._releases[-1]:
+            # FIFO slots release in order even if work completes early.
+            release_time = self._releases[-1]
+        self._releases.append(release_time)
+
+
+class ScoreboardBase:
+    """Shared path-cost logic for all scoreboard engines."""
+
+    def __init__(
+        self,
+        geometry: BMTGeometry,
+        mac_latency: int = 40,
+        bmt_miss_latency: int = 240,
+        metadata: Optional[MetadataCaches] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.mac_latency = mac_latency
+        self.bmt_miss_latency = bmt_miss_latency
+        self.metadata = metadata
+        self.node_update_count = 0
+        self.bmt_cache_misses = 0
+        self.timings: List[PersistTiming] = []
+
+    def _level_costs(self, path: Sequence[int]) -> List[int]:
+        """Per-node update cost (MAC latency + any BMT cache miss)."""
+        costs = []
+        for label in path:
+            cost = self.mac_latency
+            if self.metadata is not None and not self.metadata.access_bmt_node(
+                label, is_write=True
+            ):
+                cost += self.bmt_miss_latency
+                self.bmt_cache_misses += 1
+            costs.append(cost)
+        self.node_update_count += len(path)
+        return costs
+
+    def _record(self, persist_id: int, arrival: int, completion: int, updates: int) -> PersistTiming:
+        timing = PersistTiming(persist_id, arrival, completion, updates)
+        self.timings.append(timing)
+        return timing
+
+    def engine_busy_until(self) -> int:
+        """Cycle until which the verification engine is occupied.
+
+        Demand verifications of load fills queue behind in-flight
+        updates; schemes with serialized engines (sequential, pipelined)
+        report a real backlog, OOO engines effectively none.
+        """
+        return 0
+
+
+class SequentialScoreboard(ScoreboardBase):
+    """Baseline sp: one persist at a time walks leaf to root."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._engine_free = 0
+
+    def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
+        path = self.geometry.update_path(leaf_index)
+        costs = self._level_costs(path)
+        start = max(arrival, self._engine_free)
+        completion = start + sum(costs)
+        self._engine_free = completion
+        return self._record(persist_id, arrival, completion, len(path))
+
+    def engine_busy_until(self) -> int:
+        return self._engine_free
+
+
+class PipelineScoreboard(ScoreboardBase):
+    """PLP 1: in-order pipelined BMT updates (strict persistency)."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # level -> completion time of the most recent update at that level
+        self._level_done: Dict[int, int] = {}
+
+    def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
+        path = self.geometry.update_path(leaf_index)
+        costs = self._level_costs(path)
+        t = arrival
+        for label, cost in zip(path, costs):
+            level = self.geometry.level_of(label)
+            start = max(t, self._level_done.get(level, 0))
+            t = start + cost
+            self._level_done[level] = t
+        return self._record(persist_id, arrival, t, len(path))
+
+    def engine_busy_until(self) -> int:
+        # A demand verification enters at the leaf stage.
+        return self._level_done.get(self.geometry.depth, 0)
+
+
+class SGXPathScoreboard(SequentialScoreboard):
+    """Extension (§IV-D): strict persistency over an SGX counter tree.
+
+    Unlike the BMT, the counter tree's crash recovery requires **every
+    node on the update path** to persist (parent counters key the child
+    MACs), so each persist pays the sequential walk *plus* serialized
+    node persists — and shadow-copy atomicity keeps the walk exclusive.
+    """
+
+    def __init__(self, *args, node_persist_cycles: int = 8, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.node_persist_cycles = node_persist_cycles
+        self.path_persists = 0
+
+    def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
+        path = self.geometry.update_path(leaf_index)
+        costs = self._level_costs(path)
+        start = max(arrival, self._engine_free)
+        persist_cost = len(path) * self.node_persist_cycles
+        completion = start + sum(costs) + persist_cost
+        self._engine_free = completion
+        self.path_persists += len(path)
+        return self._record(persist_id, arrival, completion, len(path))
+
+
+class UnorderedScoreboard(ScoreboardBase):
+    """Strawman: root ordering unenforced; stores never wait for the root."""
+
+    def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
+        path = self.geometry.update_path(leaf_index)
+        self._level_costs(path)
+        return self._record(persist_id, arrival, arrival, len(path))
+
+
+class OutOfOrderScoreboard(ScoreboardBase):
+    """PLP 2: OOO updates within an epoch, pipelined across epochs.
+
+    Epoch-granularity submission: the memory system hands over the whole
+    set of boundary persists at once, which is how EP works (persists
+    materialize when the epoch's dirty blocks are flushed).
+    """
+
+    def __init__(
+        self,
+        *args,
+        ett_capacity: int = 2,
+        wpq_ring: Optional[OccupancyRing] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.ett_capacity = ett_capacity
+        self.wpq_ring = wpq_ring
+        self.last_issue_time = 0
+        self._port_free = 0
+        # Root-update completion frontier per closed epoch, in order.
+        self._epoch_done: List[int] = []
+
+    def _epoch_gates(self) -> Tuple[int, int]:
+        """(admission gate, root-order gate) for the next epoch.
+
+        Admission waits for the epoch ``ett_capacity`` back to complete;
+        root updates wait for the immediately preceding epoch.
+        """
+        admission = 0
+        if len(self._epoch_done) >= self.ett_capacity:
+            admission = self._epoch_done[len(self._epoch_done) - self.ett_capacity]
+        root_gate = self._epoch_done[-1] if self._epoch_done else 0
+        return admission, root_gate
+
+    def _issue(self, start: int, issue_slots: int) -> int:
+        """Reserve the MAC issue port (one node update starts per cycle).
+
+        A persist's ``issue_slots`` node updates are data-dependent and
+        spread one MAC latency apart, so consecutive persists only
+        contend for the port at their first issue; the interleaved later
+        issues almost never collide (the pipelined MAC units give o3 its
+        one-update-per-cycle throughput, §IV-B1).
+        """
+        first = max(start, self._port_free)
+        self._port_free = first + 1
+        return first
+
+    def submit_epoch(
+        self, persists: Sequence[Tuple[int, int]], arrival: int
+    ) -> List[PersistTiming]:
+        """Submit an epoch's persists.
+
+        Args:
+            persists: ``(persist_id, leaf_index)`` in arrival order.
+            arrival: Cycle at which the epoch boundary flush begins.
+
+        Returns:
+            Per-persist timings (root-ack completion times).
+        """
+        admission, root_gate = self._epoch_gates()
+        start_floor = max(arrival, admission)
+        results = []
+        epoch_frontier = start_floor
+        for persist_id, leaf_index in persists:
+            start = self._admit_wpq(start_floor)
+            path = self.geometry.update_path(leaf_index)
+            costs = self._level_costs(path)
+            first_issue = self._issue(start, len(path))
+            path_done = first_issue + sum(costs)
+            completion = max(path_done, root_gate)
+            epoch_frontier = max(epoch_frontier, completion)
+            self._release_wpq(completion)
+            results.append(
+                self._record(persist_id, arrival, completion, len(path))
+            )
+        self._epoch_done.append(epoch_frontier)
+        return results
+
+    def _admit_wpq(self, floor: int) -> int:
+        """Gate a persist on a WPQ slot; tracks the core-visible stall."""
+        if self.wpq_ring is None:
+            self.last_issue_time = max(self.last_issue_time, floor)
+            return floor
+        admit = max(floor, self.wpq_ring.admit(floor))
+        self.last_issue_time = max(self.last_issue_time, admit)
+        return admit
+
+    def _release_wpq(self, completion: int) -> None:
+        if self.wpq_ring is not None:
+            self.wpq_ring.occupy(completion)
+
+
+class CoalescingScoreboard(OutOfOrderScoreboard):
+    """PLP 3: OOO + paired LCA coalescing of same-epoch updates."""
+
+    def __init__(self, *args, coalescing_policy: str = "paired", **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._coalescer = CoalescingUnit(self.geometry, policy=coalescing_policy)
+        self.coalesced_away = 0
+
+    def submit_epoch(
+        self, persists: Sequence[Tuple[int, int]], arrival: int
+    ) -> List[PersistTiming]:
+        admission, root_gate = self._epoch_gates()
+        start_floor = max(arrival, admission)
+        coalesced = self._coalescer.coalesce_epoch(persists)
+        self.coalesced_away += self._coalescer.uncoalesced_updates(
+            len(coalesced)
+        ) - CoalescingUnit.total_updates(coalesced)
+
+        # First pass: own-path completion for every persist.
+        own_done: Dict[int, int] = {}
+        starts: Dict[int, int] = {}
+        for persist in coalesced:
+            start = self._admit_wpq(start_floor)
+            starts[persist.persist_id] = start
+            if persist.path:
+                costs = self._level_costs(persist.path)
+                first_issue = self._issue(start, len(persist.path))
+                own_done[persist.persist_id] = first_issue + sum(costs)
+            else:
+                own_done[persist.persist_id] = start
+
+        # Second pass: delegated persists complete with their final
+        # delegate's root update; root ordering gated on the prior epoch.
+        results = []
+        epoch_frontier = start_floor
+        for persist in coalesced:
+            final = CoalescingUnit.resolve_delegate(coalesced, persist.persist_id)
+            path_done = max(own_done[persist.persist_id], own_done[final])
+            completion = max(path_done, root_gate)
+            epoch_frontier = max(epoch_frontier, completion)
+            self._release_wpq(completion)
+            results.append(
+                self._record(
+                    persist.persist_id, arrival, completion, persist.update_count
+                )
+            )
+        self._epoch_done.append(epoch_frontier)
+        return results
+
+
+def make_scoreboard(
+    scheme: UpdateScheme,
+    geometry: BMTGeometry,
+    mac_latency: int = 40,
+    bmt_miss_latency: int = 240,
+    metadata: Optional[MetadataCaches] = None,
+    ett_capacity: int = 2,
+    wpq_ring: Optional[OccupancyRing] = None,
+) -> ScoreboardBase:
+    """Build the scoreboard matching a scheme.
+
+    ``secure_wb`` uses the sequential scoreboard (the paper notes that
+    evicted dirty blocks update the BMT sequentially in the baseline).
+    """
+    args = (geometry, mac_latency, bmt_miss_latency, metadata)
+    if scheme in (UpdateScheme.SP, UpdateScheme.SECURE_WB):
+        return SequentialScoreboard(*args)
+    if scheme is UpdateScheme.SGX_SP:
+        return SGXPathScoreboard(*args)
+    if scheme is UpdateScheme.PIPELINE:
+        return PipelineScoreboard(*args)
+    if scheme is UpdateScheme.UNORDERED:
+        return UnorderedScoreboard(*args)
+    if scheme is UpdateScheme.O3:
+        return OutOfOrderScoreboard(
+            *args, ett_capacity=ett_capacity, wpq_ring=wpq_ring
+        )
+    if scheme is UpdateScheme.COALESCING:
+        return CoalescingScoreboard(
+            *args, ett_capacity=ett_capacity, wpq_ring=wpq_ring
+        )
+    raise ValueError(f"no scoreboard for scheme {scheme}")

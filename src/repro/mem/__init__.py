@@ -1,0 +1,25 @@
+"""Memory-system substrate: caches, metadata caches, WPQ, and NVM timing.
+
+The models here are deliberately structural (set-associative arrays,
+queues with occupancy) rather than byte-accurate: the functional
+security state lives in :mod:`repro.crypto`, while these components
+provide hit/miss behaviour, write-back traffic, persist gathering, and
+queueing delay for the timing simulations.
+"""
+
+from repro.mem.cache import Cache, CacheLine
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.metadata_cache import MetadataCaches
+from repro.mem.nvm import NVMModel
+from repro.mem.wpq import WritePendingQueue, WPQEntry, TupleItem
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "CacheHierarchy",
+    "MetadataCaches",
+    "NVMModel",
+    "WritePendingQueue",
+    "WPQEntry",
+    "TupleItem",
+]

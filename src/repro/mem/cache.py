@@ -1,0 +1,174 @@
+"""A set-associative, write-back/write-through cache model.
+
+The cache operates on *block numbers* (byte address >> 6); the caller
+owns the address arithmetic.  Replacement is true LRU via per-set
+ordered dictionaries, which keeps lookups O(1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.stats import StatsRegistry
+
+
+@dataclass
+class CacheLine:
+    """Residency metadata for one cached block."""
+
+    block: int
+    dirty: bool = False
+
+
+class Cache:
+    """Set-associative LRU cache keyed by block number.
+
+    Args:
+        name: Label used in statistics.
+        size_bytes: Total capacity.
+        assoc: Ways per set.
+        block_bytes: Line size (default 64, as everywhere in the paper).
+        write_through: If ``True``, stores never set the dirty bit (the
+            write is assumed to be forwarded down immediately) — used by
+            the strict-persistency configurations.
+        stats: Optional registry to record hits/misses/evictions into.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        block_bytes: int = 64,
+        write_through: bool = False,
+        stats: Optional[StatsRegistry] = None,
+    ) -> None:
+        if size_bytes <= 0 or assoc <= 0 or block_bytes <= 0:
+            raise ValueError("cache dimensions must be positive")
+        num_lines = size_bytes // block_bytes
+        if num_lines < assoc:
+            raise ValueError("cache smaller than one set")
+        self.name = name
+        self.assoc = assoc
+        self.num_sets = max(1, num_lines // assoc)
+        self.write_through = write_through
+        self._sets: Dict[int, OrderedDict[int, CacheLine]] = {}
+        registry = stats if stats is not None else StatsRegistry()
+        self._hits = registry.counter(f"{name}.hits")
+        self._misses = registry.counter(f"{name}.misses")
+        self._evictions = registry.counter(f"{name}.evictions")
+        self._dirty_evictions = registry.counter(f"{name}.dirty_evictions")
+
+    def _set_for(self, block: int) -> OrderedDict[int, CacheLine]:
+        index = block % self.num_sets
+        lines = self._sets.get(index)
+        if lines is None:
+            lines = OrderedDict()
+            self._sets[index] = lines
+        return lines
+
+    def access(self, block: int, is_write: bool) -> Tuple[bool, Optional[CacheLine]]:
+        """Look up a block, filling on miss.
+
+        Args:
+            block: Block number.
+            is_write: Whether the access dirties the line.
+
+        Returns:
+            ``(hit, victim)`` where ``victim`` is the evicted line (with
+            its dirty bit intact) or ``None``.
+        """
+        lines = self._set_for(block)
+        line = lines.get(block)
+        if line is not None:
+            lines.move_to_end(block)
+            if is_write and not self.write_through:
+                line.dirty = True
+            self._hits.add()
+            return True, None
+        self._misses.add()
+        victim = None
+        if len(lines) >= self.assoc:
+            _, victim = lines.popitem(last=False)
+            self._evictions.add()
+            if victim.dirty:
+                self._dirty_evictions.add()
+        new_line = CacheLine(block, dirty=is_write and not self.write_through)
+        lines[block] = new_line
+        return False, victim
+
+    def probe(self, block: int) -> Optional[CacheLine]:
+        """Check residency without updating LRU or filling."""
+        return self._sets.get(block % self.num_sets, {}).get(block)
+
+    def fill(self, block: int, dirty: bool = False) -> Optional[CacheLine]:
+        """Insert a block (e.g. a victim from the level above).
+
+        Returns:
+            The evicted line, if any.
+        """
+        lines = self._set_for(block)
+        line = lines.get(block)
+        if line is not None:
+            lines.move_to_end(block)
+            line.dirty = line.dirty or dirty
+            return None
+        victim = None
+        if len(lines) >= self.assoc:
+            _, victim = lines.popitem(last=False)
+            self._evictions.add()
+            if victim.dirty:
+                self._dirty_evictions.add()
+        lines[block] = CacheLine(block, dirty=dirty)
+        return victim
+
+    def clean(self, block: int) -> bool:
+        """Clear a block's dirty bit (cache-line write-back, ``clwb``).
+
+        Returns:
+            ``True`` if the block was present and dirty.
+        """
+        line = self.probe(block)
+        if line is not None and line.dirty:
+            line.dirty = False
+            return True
+        return False
+
+    def invalidate(self, block: int) -> Optional[CacheLine]:
+        """Remove a block, returning its line if it was present."""
+        lines = self._sets.get(block % self.num_sets)
+        if lines is None:
+            return None
+        return lines.pop(block, None)
+
+    def dirty_blocks(self) -> List[int]:
+        """All currently dirty block numbers (used by epoch flushes)."""
+        out = []
+        for lines in self._sets.values():
+            out.extend(line.block for line in lines.values() if line.dirty)
+        return out
+
+    def flush_all(self) -> List[int]:
+        """Write back and clean every dirty line; returns their blocks."""
+        flushed = []
+        for lines in self._sets.values():
+            for line in lines.values():
+                if line.dirty:
+                    line.dirty = False
+                    flushed.append(line.block)
+        return flushed
+
+    def __iter__(self) -> Iterator[CacheLine]:
+        for lines in self._sets.values():
+            yield from lines.values()
+
+    def __len__(self) -> int:
+        return sum(len(lines) for lines in self._sets.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache({self.name!r}, sets={self.num_sets}, assoc={self.assoc}, "
+            f"resident={len(self)})"
+        )

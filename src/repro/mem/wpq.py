@@ -1,0 +1,207 @@
+"""Persist-gathering Write Pending Queue with the two-step persist (2SP).
+
+The WPQ sits in the memory controller and — via ADR — inside the
+persistence domain: whatever has been *delivered* to it survives a
+crash.  The 2SP mechanism (paper §IV-A1) uses it as the gathering point
+for memory tuples:
+
+1. **Gather & lock** — a persist's tuple components (ciphertext,
+   counter, MAC) arrive and are held, flagged *incomplete*.
+2. **Complete & release** — once every component has arrived *and* the
+   BMT root update is acknowledged, the entry is flagged complete and
+   its blocks may drain to NVM.
+
+On power failure, entries still flagged incomplete are invalidated —
+their contents never become visible post-crash, which is what makes a
+tuple persist atomic.
+
+Epoch persistency relaxes the locking: same-epoch entries drain as they
+arrive (they are not locked), and the WPQ only tracks whether the
+epoch's tuples have all arrived to declare the epoch complete.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class TupleItem(enum.Enum):
+    """Components of the crash-recovery memory tuple (C, γ, M, R)."""
+
+    DATA = "data"
+    COUNTER = "counter"
+    MAC = "mac"
+    ROOT_ACK = "root_ack"
+
+
+REQUIRED_ITEMS = frozenset({TupleItem.DATA, TupleItem.COUNTER, TupleItem.MAC, TupleItem.ROOT_ACK})
+
+
+class WPQFullError(RuntimeError):
+    """Raised when allocating into a full WPQ."""
+
+
+@dataclass
+class WPQEntry:
+    """One persist being gathered in the WPQ."""
+
+    persist_id: int
+    epoch_id: Optional[int] = None
+    locked: bool = True
+    arrived: Set[TupleItem] = field(default_factory=set)
+    payloads: Dict[TupleItem, object] = field(default_factory=dict)
+    complete: bool = False
+    drained: Set[TupleItem] = field(default_factory=set)
+
+    def missing(self) -> Set[TupleItem]:
+        return set(REQUIRED_ITEMS) - self.arrived
+
+
+class WritePendingQueue:
+    """A bounded, FIFO-ordered persist gathering queue."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity <= 0:
+            raise ValueError("WPQ capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, WPQEntry]" = OrderedDict()
+        self.persists_completed = 0
+
+    # ------------------------------------------------------------------
+    # occupancy
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def entry(self, persist_id: int) -> WPQEntry:
+        try:
+            return self._entries[persist_id]
+        except KeyError:
+            raise KeyError(f"persist {persist_id} not in WPQ") from None
+
+    # ------------------------------------------------------------------
+    # 2SP step 1: gather
+    # ------------------------------------------------------------------
+
+    def allocate(
+        self,
+        persist_id: int,
+        epoch_id: Optional[int] = None,
+        locked: bool = True,
+    ) -> WPQEntry:
+        """Create an entry for a new persist.
+
+        Args:
+            persist_id: Unique, monotonically increasing persist ID.
+            epoch_id: Owning epoch under epoch persistency.
+            locked: ``True`` for strict persistency / future epochs
+                (blocks are held until complete); ``False`` for the
+                current epoch under EP (blocks drain as they come).
+
+        Raises:
+            WPQFullError: No free entry.
+        """
+        if self.full:
+            raise WPQFullError(f"WPQ full ({self.capacity} entries)")
+        if persist_id in self._entries:
+            raise ValueError(f"persist {persist_id} already allocated")
+        entry = WPQEntry(persist_id=persist_id, epoch_id=epoch_id, locked=locked)
+        self._entries[persist_id] = entry
+        return entry
+
+    def deliver(
+        self,
+        persist_id: int,
+        item: TupleItem,
+        payload: object = None,
+    ) -> WPQEntry:
+        """Deliver one tuple component (or the BMT-root ack) to an entry."""
+        entry = self.entry(persist_id)
+        entry.arrived.add(item)
+        if payload is not None:
+            entry.payloads[item] = payload
+        if not entry.locked and item is not TupleItem.ROOT_ACK:
+            # EP: unlocked components drain to NVM as they arrive.
+            entry.drained.add(item)
+        if not entry.missing():
+            self._mark_complete(entry)
+        return entry
+
+    def ack_root(self, persist_id: int) -> WPQEntry:
+        """Acknowledge that the persist's BMT root update finished."""
+        return self.deliver(persist_id, TupleItem.ROOT_ACK)
+
+    def _mark_complete(self, entry: WPQEntry) -> None:
+        if not entry.complete:
+            entry.complete = True
+            self.persists_completed += 1
+
+    # ------------------------------------------------------------------
+    # 2SP step 2: release
+    # ------------------------------------------------------------------
+
+    def drain_completed(self) -> List[WPQEntry]:
+        """Release completed entries (FIFO) to NVM and free their slots."""
+        released = []
+        while self._entries:
+            head_id = next(iter(self._entries))
+            head = self._entries[head_id]
+            if not head.complete:
+                break
+            head.drained = {
+                item for item in head.arrived if item is not TupleItem.ROOT_ACK
+            }
+            released.append(self._entries.popitem(last=False)[1])
+        return released
+
+    def epoch_complete(self, epoch_id: int) -> bool:
+        """True when no resident entry of the epoch is still incomplete."""
+        return all(
+            entry.complete
+            for entry in self._entries.values()
+            if entry.epoch_id == epoch_id
+        )
+
+    def unlock_epoch(self, epoch_id: int) -> None:
+        """Unlock a future epoch's entries once the prior epoch completed."""
+        for entry in self._entries.values():
+            if entry.epoch_id == epoch_id and entry.locked:
+                entry.locked = False
+                entry.drained.update(
+                    item for item in entry.arrived if item is not TupleItem.ROOT_ACK
+                )
+
+    # ------------------------------------------------------------------
+    # crash semantics (ADR)
+    # ------------------------------------------------------------------
+
+    def crash_flush(self) -> Tuple[List[WPQEntry], List[WPQEntry]]:
+        """Apply ADR power-failure semantics.
+
+        Returns:
+            ``(persisted, invalidated)``.  Completed entries and the
+            already-drained components of unlocked entries persist;
+            locked incomplete entries are invalidated wholesale.
+        """
+        persisted: List[WPQEntry] = []
+        invalidated: List[WPQEntry] = []
+        for entry in self._entries.values():
+            if entry.complete:
+                entry.drained = {
+                    item for item in entry.arrived if item is not TupleItem.ROOT_ACK
+                }
+                persisted.append(entry)
+            elif not entry.locked and entry.drained:
+                persisted.append(entry)
+            else:
+                invalidated.append(entry)
+        self._entries.clear()
+        return persisted, invalidated

@@ -1,0 +1,61 @@
+"""Durable state: the NVM image and the on-chip persistent BMT root.
+
+The :class:`NVMImage` holds everything that lives in the non-volatile
+DIMM — ciphertext blocks, serialized counter blocks, MAC blocks.  BMT
+interior nodes are cacheable and reconstructible, so they are not part
+of the recovery-critical image; the root lives in :class:`DurableRoot`,
+the single on-chip persistent register the paper assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class NVMImage:
+    """Byte-level contents of the non-volatile DIMM."""
+
+    def __init__(self) -> None:
+        self.data: Dict[int, bytes] = {}       # block -> ciphertext (64 B)
+        self.counters: Dict[int, bytes] = {}   # page  -> counter block (64 B)
+        self.macs: Dict[int, bytes] = {}       # block -> MAC (8 B)
+
+    def write_data(self, block: int, ciphertext: bytes) -> None:
+        self.data[block] = bytes(ciphertext)
+
+    def write_counter(self, page: int, counter_block: bytes) -> None:
+        self.counters[page] = bytes(counter_block)
+
+    def write_mac(self, block: int, mac: bytes) -> None:
+        self.macs[block] = bytes(mac)
+
+    def snapshot(self) -> "NVMImage":
+        dup = NVMImage()
+        dup.data = dict(self.data)
+        dup.counters = dict(self.counters)
+        dup.macs = dict(self.macs)
+        return dup
+
+    def __repr__(self) -> str:
+        return (
+            f"NVMImage(blocks={len(self.data)}, counter_pages="
+            f"{len(self.counters)}, macs={len(self.macs)})"
+        )
+
+
+@dataclass
+class DurableRoot:
+    """The persistent on-chip BMT root register.
+
+    Every committed persist moves this register forward; it survives
+    crashes by construction (it is inside the processor's persistence
+    domain), so recovery validates the rebuilt tree against it.
+    """
+
+    value: Optional[bytes] = None
+    update_count: int = 0
+
+    def commit(self, root: bytes) -> None:
+        self.value = bytes(root)
+        self.update_count += 1

@@ -1,0 +1,144 @@
+"""Statistics primitives shared by every timing model.
+
+All hardware models register their counters in a :class:`StatsRegistry`
+so that a finished simulation can be rendered as a flat ``dict`` and fed
+to the benchmark harness or the report formatter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing event counter."""
+
+    name: str
+    value: int = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Histogram:
+    """A bucketed histogram for latency/occupancy distributions."""
+
+    def __init__(self, name: str, bucket_width: int = 16) -> None:
+        if bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        self.name = name
+        self.bucket_width = bucket_width
+        self._buckets: Dict[int, int] = {}
+        self._count = 0
+        self._total = 0
+        self._min: int | None = None
+        self._max: int | None = None
+
+    def record(self, sample: int) -> None:
+        bucket = sample // self.bucket_width
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        self._count += 1
+        self._total += sample
+        self._min = sample if self._min is None else min(self._min, sample)
+        self._max = sample if self._max is None else max(self._max, sample)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def minimum(self) -> int:
+        return self._min if self._min is not None else 0
+
+    @property
+    def maximum(self) -> int:
+        return self._max if self._max is not None else 0
+
+    def buckets(self) -> Iterator[Tuple[int, int]]:
+        """Yield ``(bucket_start, count)`` in ascending order."""
+        for bucket in sorted(self._buckets):
+            yield bucket * self.bucket_width, self._buckets[bucket]
+
+    def percentile(self, p: float) -> int:
+        """Approximate percentile ``p`` (0..100) from bucket boundaries."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        if not self._count:
+            return 0
+        target = math.ceil(self._count * p / 100)
+        seen = 0
+        for start, count in self.buckets():
+            seen += count
+            if seen >= target:
+                return start + self.bucket_width - 1
+        return self.maximum
+
+
+@dataclass
+class StatsRegistry:
+    """A namespaced collection of counters and histograms."""
+
+    prefix: str = ""
+    _counters: Dict[str, Counter] = field(default_factory=dict)
+    _histograms: Dict[str, Histogram] = field(default_factory=dict)
+    _children: List["StatsRegistry"] = field(default_factory=list)
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        if name not in self._counters:
+            self._counters[name] = Counter(self._qualify(name))
+        return self._counters[name]
+
+    def histogram(self, name: str, bucket_width: int = 16) -> Histogram:
+        """Get or create the histogram ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(self._qualify(name), bucket_width)
+        return self._histograms[name]
+
+    def child(self, prefix: str) -> "StatsRegistry":
+        """Create a nested registry whose names are prefixed."""
+        registry = StatsRegistry(prefix=self._qualify(prefix))
+        self._children.append(registry)
+        return registry
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten every counter and histogram summary into one dict."""
+        out: Dict[str, float] = {}
+        for counter in self._counters.values():
+            out[counter.name] = counter.value
+        for histogram in self._histograms.values():
+            out[f"{histogram.name}.count"] = histogram.count
+            out[f"{histogram.name}.mean"] = histogram.mean
+            out[f"{histogram.name}.max"] = histogram.maximum
+        for childreg in self._children:
+            out.update(childreg.as_dict())
+        return out
+
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+        self._histograms.clear()
+        for childreg in self._children:
+            childreg.reset()
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean, the aggregation the paper uses for overheads."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,28 @@
+"""System integration: configuration, the functional secure memory, and
+the trace-driven timing simulator.
+
+Two top-level entry points:
+
+* :class:`~repro.system.secure_memory.FunctionalSecureMemory` — byte-
+  accurate secure NVMM with crash/recovery semantics (correctness
+  experiments, Tables I/II, examples);
+* :class:`~repro.system.timing.TraceSimulator` — cycle-level performance
+  model over workload traces (Figures 8–12, Table V, sensitivity
+  studies).
+"""
+
+from repro.system.config import SystemConfig
+from repro.system.secure_memory import FunctionalSecureMemory, IntegrityError
+from repro.system.timing import TraceSimulator, SimResult
+from repro.system.factory import build_simulator, run_benchmark, run_trace
+
+__all__ = [
+    "SystemConfig",
+    "FunctionalSecureMemory",
+    "IntegrityError",
+    "TraceSimulator",
+    "SimResult",
+    "build_simulator",
+    "run_benchmark",
+    "run_trace",
+]

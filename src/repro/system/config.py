@@ -1,0 +1,119 @@
+"""System configuration (paper Table III defaults)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.schemes import UpdateScheme
+from repro.crypto.bmt import BMTGeometry
+from repro.mem.nvm import NVMConfig
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+BLOCK_BYTES = 64
+PAGE_BYTES = 4096
+
+
+@dataclass
+class SystemConfig:
+    """Full-system parameters.
+
+    Defaults reproduce Table III: 4 GHz OOO core, 64 KB L1 / 512 KB L2 /
+    4 MB L3, 32-entry WPQ, 128 KB counter/MAC/BMT caches, 9-level BMT,
+    40-cycle MAC latency, 8 GB PCM, epoch size 32, 64-entry PTT,
+    2-entry ETT.
+    """
+
+    scheme: UpdateScheme = UpdateScheme.SP
+
+    # Core.
+    clock_ghz: float = 4.0
+    core_ipc: float = 2.0
+    load_mlp: float = 4.0
+
+    # Data caches.
+    l1_bytes: int = 64 * KB
+    l2_bytes: int = 512 * KB
+    l3_bytes: int = 4 * MB
+    l1_assoc: int = 8
+    l2_assoc: int = 16
+    l3_assoc: int = 32
+
+    # Memory controller / WPQ.
+    wpq_entries: int = 32
+
+    # Metadata caches.
+    counter_cache_bytes: int = 128 * KB
+    mac_cache_bytes: int = 128 * KB
+    bmt_cache_bytes: int = 128 * KB
+    metadata_assoc: int = 8
+    ideal_metadata: bool = False
+
+    # Security engine.
+    mac_latency: int = 40
+    bmt_arity: int = 8
+    bmt_min_levels: int = 9
+    counter_organization: str = "split"
+    """``"split"`` (per-page major + 64 minor counters, 1.56 % storage
+    overhead) or ``"monolithic"`` (64-bit per block, 12.5 % overhead,
+    SGX-style).  Affects counter-cache reach and BMT leaf count."""
+
+    # Memory.
+    memory_bytes: int = 8 * GB
+    nvm: NVMConfig = field(default_factory=NVMConfig)
+
+    # Persistency.
+    epoch_size: int = 32
+    ptt_entries: int = 64
+    ett_entries: int = 2
+    protect_stack: bool = False
+    """``True`` models the paper's '_full' configurations where every
+    store (including the stack) is persistent."""
+
+    def __post_init__(self) -> None:
+        if self.mac_latency < 0:
+            raise ValueError("mac_latency must be non-negative")
+        if self.memory_bytes % PAGE_BYTES:
+            raise ValueError("memory size must be page aligned")
+        if self.counter_organization not in ("split", "monolithic"):
+            raise ValueError(
+                "counter_organization must be 'split' or 'monolithic'"
+            )
+
+    @property
+    def num_pages(self) -> int:
+        return self.memory_bytes // PAGE_BYTES
+
+    @property
+    def num_blocks(self) -> int:
+        return self.memory_bytes // BLOCK_BYTES
+
+    @property
+    def blocks_per_counter_block(self) -> int:
+        """Data blocks covered by one 64 B counter block."""
+        return 64 if self.counter_organization == "split" else 8
+
+    @property
+    def counter_storage_overhead(self) -> float:
+        """Counter storage as a fraction of protected memory (§II:
+        1.56 % split vs 12.5 % monolithic)."""
+        return BLOCK_BYTES / (self.blocks_per_counter_block * BLOCK_BYTES)
+
+    def geometry(self) -> BMTGeometry:
+        """The BMT over this memory's counter blocks."""
+        return BMTGeometry(
+            num_leaves=self.num_blocks // self.blocks_per_counter_block,
+            arity=self.bmt_arity,
+            min_levels=self.bmt_min_levels,
+        )
+
+    def with_scheme(self, scheme: UpdateScheme) -> "SystemConfig":
+        """Copy with a different update scheme (benchmark sweeps)."""
+        return replace(self, scheme=scheme)
+
+    def variant(self, **changes) -> "SystemConfig":
+        """Copy with arbitrary field overrides."""
+        return replace(self, **changes)

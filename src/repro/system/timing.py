@@ -1,0 +1,429 @@
+"""Trace-driven cycle-level simulation of the six evaluated schemes.
+
+The simulator walks a :class:`~repro.workloads.trace.MemoryTrace` and
+advances a core-cycle clock:
+
+* non-memory instructions retire at the profile's base IPC;
+* loads probe the L1/L2/L3 hierarchy; NVM reads (plus counter/MAC
+  metadata fetches) stall the core, damped by a memory-level-parallelism
+  factor (decryption and integrity verification overlap use, per §VI);
+* stores follow the scheme's persist path:
+
+  - ``secure_wb`` — write-back caches; dirty LLC evictions produce
+    unordered tuple writes and *sequential* BMT updates at the MC;
+  - ``unordered``/``sp``/``pipeline`` — write-through: every persistent
+    store allocates a WPQ slot (stalling when full) and submits a BMT
+    update to its scheme's scoreboard;
+  - ``o3``/``coalescing`` — write-back within an epoch; the epoch
+    boundary flushes the epoch's unique dirty blocks as persists through
+    the OOO/coalescing scoreboard, gated by the 2-entry ETT.
+
+The result reports total cycles, IPC, and persists-per-kilo-instruction
+(Table V's PPKI metric).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.schedulers import OccupancyRing, make_scoreboard
+from repro.core.schemes import UpdateScheme
+from repro.mem.hierarchy import CacheHierarchy
+from repro.mem.metadata_cache import MetadataCaches
+from repro.mem.nvm import NVMModel
+from repro.persistency.epochs import Epoch, EpochTracker
+from repro.sim.stats import StatsRegistry
+from repro.system.config import SystemConfig
+from repro.workloads.trace import MemoryTrace, OpKind
+
+
+@dataclass
+class SimResult:
+    """Outcome of one trace simulation."""
+
+    scheme: str
+    trace_name: str
+    cycles: int
+    instructions: int
+    persists: int
+    node_updates: int
+    bmt_cache_misses: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def ppki(self) -> float:
+        """Persists per kilo-instruction (Table V metric)."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.persists / self.instructions
+
+    def slowdown_vs(self, baseline: "SimResult") -> float:
+        """Execution-time ratio against a baseline run of the same trace."""
+        if baseline.instructions != self.instructions:
+            raise ValueError("slowdown comparison requires identical traces")
+        return self.cycles / baseline.cycles
+
+
+class _WriteCombiner:
+    """WPQ write-combining: merges back-to-back writes to one block.
+
+    The WPQ holds tens of entries; a persist whose counter or MAC block
+    was written moments ago merges into the pending entry instead of
+    issuing a second NVM write.
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.capacity = capacity
+        self._recent: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
+
+    def absorbs(self, kind: str, block: int) -> bool:
+        """True if this write merges with a recent one (no NVM traffic)."""
+        key = (kind, block)
+        if key in self._recent:
+            self._recent.move_to_end(key)
+            return True
+        self._recent[key] = None
+        if len(self._recent) > self.capacity:
+            self._recent.popitem(last=False)
+        return False
+
+
+@dataclass
+class _WindowSnapshot:
+    """Counter values at the start of the measured window."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    persists: int = 0
+    node_updates: int = 0
+    bmt_misses: int = 0
+
+
+class TraceSimulator:
+    """Cycle-level model configured by a :class:`SystemConfig`."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        self.scheme = config.scheme
+        self.geometry = config.geometry()
+        self.stats = StatsRegistry()
+        self.hierarchy = CacheHierarchy(
+            l1_bytes=config.l1_bytes,
+            l2_bytes=config.l2_bytes,
+            l3_bytes=config.l3_bytes,
+            l1_assoc=config.l1_assoc,
+            l2_assoc=config.l2_assoc,
+            l3_assoc=config.l3_assoc,
+            write_through=self.scheme.write_through,
+            stats=self.stats,
+        )
+        self.metadata = MetadataCaches(
+            self.geometry,
+            counter_bytes=config.counter_cache_bytes,
+            mac_bytes=config.mac_cache_bytes,
+            bmt_bytes=config.bmt_cache_bytes,
+            assoc=config.metadata_assoc,
+            ideal=config.ideal_metadata,
+            blocks_per_counter_block=config.blocks_per_counter_block,
+            stats=self.stats,
+        )
+        self.nvm = NVMModel(config.nvm, stats=self.stats)
+        self.wpq_ring = OccupancyRing(config.wpq_entries)
+        self.scoreboard = make_scoreboard(
+            self.scheme,
+            self.geometry,
+            mac_latency=config.mac_latency,
+            bmt_miss_latency=config.nvm.read_latency,
+            metadata=self.metadata,
+            ett_capacity=config.ett_entries,
+            wpq_ring=self.wpq_ring if self.scheme.uses_epochs else None,
+        )
+        self.epochs = (
+            EpochTracker(config.epoch_size) if self.scheme.uses_epochs else None
+        )
+        self._combiner = _WriteCombiner()
+        self._num_leaves = self.geometry.num_leaves
+        self._dirty_window: "OrderedDict[int, None]" = OrderedDict()
+        self._dirty_window_capacity = 512
+        self._in_warmup = False
+        # Prime the residency window with "prehistoric" dirty blocks so
+        # the steady-state displacement starts immediately (see
+        # _track_dirty); a reserved low region supplies their addresses.
+        for i in range(self._dirty_window_capacity):
+            self._dirty_window[0x100000 + i * 9] = None
+        self._now = 0.0
+        self._cpi = 1.0 / config.core_ipc
+        self._next_persist_id = 0
+        self._persist_count = 0
+        self._last_completion = 0
+        self._wpq_stall = self.stats.counter("core.wpq_stall_cycles")
+        self._load_stall = self.stats.counter("core.load_stall_cycles")
+        self._flush_stall = self.stats.counter("core.epoch_flush_cycles")
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, trace: MemoryTrace, warmup_fraction: float = 0.2) -> SimResult:
+        """Simulate a trace and report the steady-state window.
+
+        Args:
+            trace: The workload.
+            warmup_fraction: Leading fraction of the trace simulated to
+                warm caches and queues but excluded from the reported
+                cycle/instruction counts (the paper measures
+                fast-forwarded, warm regions of each benchmark).
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        records = trace.records
+        boundary = int(len(records) * warmup_fraction)
+        instructions = 0
+        window = _WindowSnapshot()
+        self._in_warmup = boundary > 0
+        for index, record in enumerate(records):
+            if index == boundary:
+                self._in_warmup = False
+                window = self._snapshot(instructions)
+            if record.gap:
+                self._now += record.gap * self._cpi
+            instructions += record.gap + 1
+            if record.kind is OpKind.SFENCE:
+                self._barrier()
+            elif record.kind is OpKind.LOAD:
+                self._now += self._cpi
+                self._load(record.block)
+            else:
+                self._now += self._cpi
+                persistent = record.persistent or self.config.protect_stack
+                self._store(record.block, persistent)
+        self._drain()
+        end_cycle = max(self._now, float(self._last_completion))
+        cycles = int(end_cycle - window.cycles)
+        return SimResult(
+            scheme=self.scheme.value,
+            trace_name=trace.name,
+            cycles=max(cycles, 1),
+            instructions=instructions - window.instructions,
+            persists=self._persist_count - window.persists,
+            node_updates=self.scoreboard.node_update_count - window.node_updates,
+            bmt_cache_misses=self.scoreboard.bmt_cache_misses - window.bmt_misses,
+            stats=self.stats.as_dict(),
+        )
+
+    def _snapshot(self, instructions: int) -> "_WindowSnapshot":
+        return _WindowSnapshot(
+            cycles=self._now,
+            instructions=instructions,
+            persists=self._persist_count,
+            node_updates=self.scoreboard.node_update_count,
+            bmt_misses=self.scoreboard.bmt_cache_misses,
+        )
+
+    # ------------------------------------------------------------------
+    # loads
+    # ------------------------------------------------------------------
+
+    def _load(self, block: int) -> None:
+        result = self.hierarchy.access(block, is_write=False)
+        for victim in result.writebacks:
+            self._handle_writeback(victim)
+        if not result.memory_access:
+            return
+        now = int(self._now)
+        done = self.nvm.read(now)
+        # Counter and MAC must be on-chip to decrypt/verify the fill.
+        if not self.metadata.access_counter(block, is_write=False):
+            done = max(done, self.nvm.read(now))
+        if not self.metadata.access_mac(block, is_write=False):
+            done = max(done, self.nvm.read(now))
+        # The fill is integrity-verified up the BMT; verification is
+        # overlapped with use (§VI) so it adds no latency, but its node
+        # reads occupy — and pollute — the BMT cache.
+        for label in self.geometry.update_path(self._leaf_of(block)):
+            if self.metadata.access_bmt_node(label, is_write=False):
+                break  # verification stops at the first trusted cached node
+        # The fill's demand verification queues behind in-flight BMT
+        # updates (bounded: demand requests are prioritized after at most
+        # one full update path) — the effect that lets the PLP schemes
+        # match or beat secure_WB on eviction-heavy workloads like milc.
+        backlog_cap = now + self.config.mac_latency * self.geometry.levels
+        done = max(done, min(self.scoreboard.engine_busy_until(), backlog_cap))
+        stall = (done - now) / self.config.load_mlp
+        self._load_stall.add(int(stall))
+        self._now += stall
+
+    # ------------------------------------------------------------------
+    # stores
+    # ------------------------------------------------------------------
+
+    def _store(self, block: int, persistent: bool) -> None:
+        result = self.hierarchy.access(block, is_write=True)
+        for victim in result.writebacks:
+            self._handle_writeback(victim)
+        if result.memory_access:
+            # Write-allocate fetch.
+            now = int(self._now)
+            done = self.nvm.read(now)
+            stall = (done - now) / self.config.load_mlp
+            self._load_stall.add(int(stall))
+            self._now += stall
+        if not self.scheme.write_through:
+            self._track_dirty(block)
+        if not persistent:
+            return
+        if self.scheme is UpdateScheme.SECURE_WB:
+            return  # persists happen on natural write-backs
+        if self.scheme.uses_epochs:
+            closed = self.epochs.record_store(block)
+            if closed is not None:
+                self._flush_epoch(closed)
+            return
+        self._persist_store(block)
+
+    def _track_dirty(self, block: int) -> None:
+        """Steady-state dirty residency for write-back schemes.
+
+        The paper measures warm 100 M-instruction regions in which the
+        LLC already brims with old dirty data, so each newly dirtied
+        block eventually displaces an old one.  Short synthetic traces
+        never fill a 4 MB LLC; this bounded residency window models the
+        displacement: the block dirtied longest ago (without reuse) is
+        written back.
+        """
+        window = self._dirty_window
+        if block in window:
+            window.move_to_end(block)
+            return
+        window[block] = None
+        if len(window) > self._dirty_window_capacity:
+            victim, _ = window.popitem(last=False)
+            self.hierarchy.clean_block(victim)
+            # Warm-up displacements only maintain window state — their
+            # writebacks belong to the unmeasured prehistory.
+            if not self._in_warmup:
+                self._handle_writeback(victim)
+
+    def _persist_store(self, block: int) -> None:
+        """Write-through persist (unordered / sp / pipeline)."""
+        now = int(self._now)
+        admit = self.wpq_ring.admit(now)
+        if admit > now:
+            self._wpq_stall.add(admit - now)
+            self._now = float(admit)
+        arrival = int(self._now)
+        arrival = self._metadata_update(block, arrival)
+        timing = self.scoreboard.submit(
+            self._next_persist_id, self._leaf_of(block), arrival
+        )
+        self._next_persist_id += 1
+        self._persist_count += 1
+        self._last_completion = max(self._last_completion, timing.completion)
+        self.wpq_ring.occupy(timing.completion)
+        # Tuple writes drain to NVM in the background (bandwidth).
+        self._tuple_writes(block, arrival)
+        if self.scheme.persists_whole_path:
+            # SGX counter tree: every updated path node is written out.
+            for _ in range(self.geometry.levels - 1):
+                self.nvm.write(arrival)
+
+
+    def _leaf_of(self, block: int) -> int:
+        """Map a block's counter block to a BMT leaf (folding large
+        traces into the configured memory size)."""
+        return (
+            block // self.config.blocks_per_counter_block
+        ) % self._num_leaves
+
+    def _tuple_writes(self, block: int, when: int) -> None:
+        """Issue the persist's NVM writes, with WPQ write-combining."""
+        if not self._combiner.absorbs("data", block):
+            self.nvm.write(when)
+        if not self._combiner.absorbs("ctr", self.metadata.counter_block_of(block)):
+            self.nvm.write(when)
+        if not self._combiner.absorbs("mac", block >> 3):
+            self.nvm.write(when)
+
+    def _metadata_update(self, block: int, arrival: int) -> int:
+        """Counter and MAC updates for a persist; misses delay it."""
+        if not self.metadata.access_counter(block, is_write=True):
+            arrival = self.nvm.read(arrival)
+        if not self.metadata.access_mac(block, is_write=True):
+            arrival = max(arrival, self.nvm.read(arrival))
+        return arrival
+
+    # ------------------------------------------------------------------
+    # epoch persistency
+    # ------------------------------------------------------------------
+
+    def _barrier(self) -> None:
+        if self.epochs is None:
+            return
+        closed = self.epochs.barrier()
+        if closed is not None:
+            self._flush_epoch(closed)
+
+    def _flush_epoch(self, epoch: Epoch) -> None:
+        """Flush an epoch's unique dirty blocks as persists."""
+        now = int(self._now)
+        persists: List[Tuple[int, int]] = []
+        arrival = now
+        for block in epoch.dirty_blocks:  # first-store order
+            self.hierarchy.clean_block(block)
+            self._dirty_window.pop(block, None)  # persisted: now clean
+            arrival = self._metadata_update(block, arrival)
+            self._tuple_writes(block, now)
+            persists.append((self._next_persist_id, self._leaf_of(block)))
+            self._next_persist_id += 1
+        if not persists:
+            return
+        timings = self.scoreboard.submit_epoch(persists, arrival)
+        self._persist_count += len(persists)
+        for timing in timings:
+            self._last_completion = max(self._last_completion, timing.completion)
+        # The core stalls while flush issue waits for WPQ slots / the ETT.
+        issue_done = self.scoreboard.last_issue_time
+        if issue_done > self._now:
+            self._flush_stall.add(int(issue_done - self._now))
+            self._now = float(issue_done)
+
+    # ------------------------------------------------------------------
+    # write-backs (secure_wb background persists; EP stack spills)
+    # ------------------------------------------------------------------
+
+    def _handle_writeback(self, block: int) -> None:
+        now = int(self._now)
+        arrival = self._metadata_update(block, now)
+        self._tuple_writes(block, now)
+        if self.scheme is not UpdateScheme.SECURE_WB:
+            return
+        # secure_WB performs sequential BMT updates for evicted blocks;
+        # the WPQ gates how far the core can run ahead of the engine.
+        admit = self.wpq_ring.admit(now)
+        if admit > now:
+            self._wpq_stall.add(admit - now)
+            self._now = float(admit)
+            arrival = max(arrival, admit)
+        timing = self.scoreboard.submit(
+            self._next_persist_id, self._leaf_of(block), arrival
+        )
+        self._next_persist_id += 1
+        self._persist_count += 1
+        self._last_completion = max(self._last_completion, timing.completion)
+        self.wpq_ring.occupy(timing.completion)
+
+    # ------------------------------------------------------------------
+    # end of trace
+    # ------------------------------------------------------------------
+
+    def _drain(self) -> None:
+        if self.epochs is not None:
+            closed = self.epochs.flush()
+            if closed is not None:
+                self._flush_epoch(closed)

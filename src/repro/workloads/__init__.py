@@ -1,0 +1,39 @@
+"""Workload traces: record format, synthetic generators, SPEC profiles.
+
+The paper evaluates on 15 SPEC CPU2006 benchmarks under gem5.  Without
+the authors' testbed we synthesize traces whose *persist-relevant
+statistics* are calibrated to the paper's Table V: stores per kilo
+instruction, the non-stack store fraction, the per-epoch unique-block
+ratio (which determines the o3 persist collapse), the LLC write-back
+rate, and spatial locality (which determines coalescing's win).
+"""
+
+from repro.workloads.trace import MemoryTrace, TraceRecord, OpKind
+from repro.workloads.synthetic import (
+    SyntheticSpec,
+    generate_trace,
+    sequential_stream,
+    strided_stream,
+    uniform_random,
+    zipfian,
+    pointer_chase,
+    kvstore_trace,
+)
+from repro.workloads.spec_profiles import SpecProfile, SPEC_PROFILES, profile_trace
+
+__all__ = [
+    "MemoryTrace",
+    "TraceRecord",
+    "OpKind",
+    "SyntheticSpec",
+    "generate_trace",
+    "sequential_stream",
+    "strided_stream",
+    "uniform_random",
+    "zipfian",
+    "pointer_chase",
+    "kvstore_trace",
+    "SpecProfile",
+    "SPEC_PROFILES",
+    "profile_trace",
+]

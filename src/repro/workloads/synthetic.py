@@ -1,0 +1,331 @@
+"""Synthetic trace generators.
+
+The main entry point is :func:`generate_trace`, a statistics-driven
+generator used to synthesize SPEC-like workloads.  Its store stream is
+produced by a *working-pool* process: stores sample from a bounded pool
+of active blocks while new blocks enter the pool at a configurable rate.
+This yields the two properties the evaluation depends on:
+
+* the number of **unique blocks per epoch grows sub-linearly** with the
+  epoch size (Fig. 11's PPKI-vs-epoch-size curve), and
+* new blocks are allocated **sequentially within pages**, giving the
+  spatial locality that BMT update coalescing exploits (§IV-B2).
+
+Smaller single-purpose generators (sequential, strided, zipf, pointer
+chase, a key-value store) are provided for the examples and tests.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.workloads.trace import MemoryTrace, OpKind, TraceRecord
+
+BLOCK = 64
+PAGE_BLOCKS = 64
+
+HEAP_BASE = 0x1000_0000
+"""Base of the persistent heap region."""
+
+STACK_BASE = 0x7FFF_0000
+"""Base of the (non-persistent) stack region."""
+
+STACK_BLOCKS = 128
+"""Stack footprint in blocks (8 KB)."""
+
+
+@dataclass
+class SyntheticSpec:
+    """Parameters for the statistics-driven generator.
+
+    Attributes:
+        name: Workload label.
+        kilo_instructions: Trace length in kilo-instructions.
+        stores_per_ki: All stores per kilo-instruction (Table V
+            'sp_full').
+        loads_per_ki: Loads per kilo-instruction.
+        stack_store_fraction: Fraction of stores that hit the stack
+            (non-persistent under the paper's default protection).
+        pool_blocks: Size of the store working pool; smaller pools mean
+            more same-block reuse within an epoch.
+        new_block_rate: Probability a store allocates a fresh,
+            never-seen block (streaming-ness; drives LLC write-backs).
+        page_run: Mean number of fresh blocks allocated in a page before
+            allocation moves to the next page.  Small runs spread the
+            working pool across many (adjacent) pages, which bounds how
+            much BMT-update coalescing can save; large runs concentrate
+            a pool in few counter blocks.
+        page_scatter: Probability that a page advance jumps to a distant
+            page instead of the adjacent one (spatial locality knob;
+            high values hurt coalescing's deep shared ancestors).
+        load_reuse_fraction: Fraction of loads that target recently
+            stored blocks (cache hits).  The remaining loads stream
+            through fresh, one-touch addresses — every one an LLC miss —
+            so the miss rate is ``loads_per_ki * (1 - reuse)`` MPKI.
+        seed: RNG seed (the generator is fully deterministic).
+    """
+
+    name: str = "synthetic"
+    kilo_instructions: int = 100
+    stores_per_ki: float = 100.0
+    loads_per_ki: float = 200.0
+    stack_store_fraction: float = 0.5
+    pool_blocks: int = 16
+    new_block_rate: float = 0.05
+    page_run: float = 2.0
+    page_scatter: float = 0.05
+    load_reuse_fraction: float = 0.9
+    seed: int = 2020
+
+
+def expected_uniques(pool_blocks: int, new_rate: float, window: int) -> float:
+    """Expected unique blocks among ``window`` stores of the pool process.
+
+    Used to calibrate ``pool_blocks`` against a target per-epoch unique
+    ratio (Table V's o3 column).
+    """
+    pool = max(1, pool_blocks)
+    reuse_draws = window * (1.0 - new_rate)
+    distinct_from_pool = pool * (1.0 - (1.0 - 1.0 / pool) ** reuse_draws)
+    return min(float(window), distinct_from_pool + window * new_rate)
+
+
+def calibrate_pool(target_uniques: float, new_rate: float, window: int) -> int:
+    """Pool size whose expected uniques over ``window`` match the target."""
+    lo, hi = 1, 1 << 16
+    if expected_uniques(lo, new_rate, window) >= target_uniques:
+        return lo
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if expected_uniques(mid, new_rate, window) < target_uniques:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+class _StoreStream:
+    """The working-pool store address process."""
+
+    def __init__(self, spec: SyntheticSpec, rng: random.Random) -> None:
+        self._spec = spec
+        self._rng = rng
+        self._next_block = HEAP_BASE // BLOCK
+        self._page_fill = 0
+        # Pre-fill the working pool: the initial working set exists even
+        # for workloads that never allocate fresh blocks (new_block_rate
+        # of zero, e.g. gamess whose write-back rate is ~0).
+        self._pool: List[int] = [
+            self._fresh_block() for _ in range(max(1, spec.pool_blocks))
+        ]
+
+    def _fresh_block(self) -> int:
+        """Allocate a new block, spreading runs across adjacent pages."""
+        spec = self._spec
+        advance = self._page_fill >= PAGE_BLOCKS or (
+            self._page_fill > 0
+            and self._rng.random() < 1.0 / max(1.0, spec.page_run)
+        )
+        if advance:
+            step = 1
+            if self._rng.random() < spec.page_scatter:
+                # Distant jump: heap arenas spread allocations across a
+                # wide region, so working-pool pages only share shallow
+                # BMT ancestors (bounding what coalescing can save).
+                step += self._rng.randrange(4096)
+            self._next_block = (
+                (self._next_block // PAGE_BLOCKS) + step
+            ) * PAGE_BLOCKS
+            self._page_fill = 0
+        block = self._next_block
+        self._next_block += 1
+        self._page_fill += 1
+        return block
+
+    def next_block(self) -> int:
+        spec = self._spec
+        if self._rng.random() < spec.new_block_rate:
+            block = self._fresh_block()
+            self._pool.append(block)
+            if len(self._pool) > spec.pool_blocks:
+                self._pool.pop(0)
+            return block
+        return self._rng.choice(self._pool)
+
+    def recent_blocks(self) -> List[int]:
+        return self._pool
+
+
+def generate_trace(spec: SyntheticSpec) -> MemoryTrace:
+    """Generate a trace matching a :class:`SyntheticSpec`.
+
+    The instruction budget is distributed as per-op gaps so that the
+    trace's PPKI statistics match the spec's rates.
+    """
+    rng = random.Random(spec.seed)
+    trace = MemoryTrace(name=spec.name)
+    stores = max(1, round(spec.kilo_instructions * spec.stores_per_ki))
+    loads = max(0, round(spec.kilo_instructions * spec.loads_per_ki))
+    total_ops = stores + loads
+    total_instructions = spec.kilo_instructions * 1000
+    gap_budget = max(0, total_instructions - total_ops)
+    base_gap, remainder = divmod(gap_budget, total_ops)
+
+    store_stream = _StoreStream(spec, rng)
+    load_frontier = HEAP_BASE // BLOCK + (1 << 20)
+    stack_cursor = 0
+
+    # Interleave loads and stores uniformly.
+    ops: List[bool] = [True] * stores + [False] * loads  # True = store
+    rng.shuffle(ops)
+
+    for index, is_store in enumerate(ops):
+        gap = base_gap + (1 if index < remainder else 0)
+        if is_store:
+            if rng.random() < spec.stack_store_fraction:
+                stack_cursor = (stack_cursor + 1) % STACK_BLOCKS
+                address = STACK_BASE + stack_cursor * BLOCK
+                trace.append(
+                    TraceRecord(OpKind.STORE, address, gap, persistent=False)
+                )
+            else:
+                block = store_stream.next_block()
+                trace.append(
+                    TraceRecord(OpKind.STORE, block * BLOCK, gap, persistent=True)
+                )
+        else:
+            pool = store_stream.recent_blocks()
+            if pool and rng.random() < spec.load_reuse_fraction:
+                block = rng.choice(pool)
+            else:
+                # One-touch streaming read: always a fresh block.
+                block = load_frontier
+                load_frontier += 1
+            trace.append(
+                TraceRecord(OpKind.LOAD, block * BLOCK, gap, persistent=True)
+            )
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Simple single-purpose generators (examples, tests)
+# ----------------------------------------------------------------------
+
+
+def sequential_stream(
+    num_stores: int, start: int = HEAP_BASE, gap: int = 8, seed: int = 0
+) -> MemoryTrace:
+    """Stores marching sequentially through memory (streaming write)."""
+    trace = MemoryTrace(name="sequential")
+    for i in range(num_stores):
+        trace.append(TraceRecord(OpKind.STORE, start + i * BLOCK, gap))
+    return trace
+
+
+def strided_stream(
+    num_stores: int, stride_blocks: int, start: int = HEAP_BASE, gap: int = 8
+) -> MemoryTrace:
+    """Stores with a fixed block stride (e.g. column-major sweeps)."""
+    trace = MemoryTrace(name=f"stride{stride_blocks}")
+    for i in range(num_stores):
+        trace.append(
+            TraceRecord(OpKind.STORE, start + i * stride_blocks * BLOCK, gap)
+        )
+    return trace
+
+
+def uniform_random(
+    num_stores: int, span_blocks: int, start: int = HEAP_BASE, gap: int = 8, seed: int = 7
+) -> MemoryTrace:
+    """Uniformly random stores over a span (worst case for coalescing)."""
+    rng = random.Random(seed)
+    trace = MemoryTrace(name="uniform")
+    for _ in range(num_stores):
+        block = rng.randrange(span_blocks)
+        trace.append(TraceRecord(OpKind.STORE, start + block * BLOCK, gap))
+    return trace
+
+
+def zipfian(
+    num_stores: int,
+    span_blocks: int,
+    skew: float = 1.1,
+    start: int = HEAP_BASE,
+    gap: int = 8,
+    seed: int = 11,
+) -> MemoryTrace:
+    """Zipf-distributed stores (hot-set reuse, e.g. index updates)."""
+    if skew <= 0:
+        raise ValueError("skew must be positive")
+    rng = random.Random(seed)
+    weights = [1.0 / (rank**skew) for rank in range(1, span_blocks + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    trace = MemoryTrace(name="zipf")
+    for _ in range(num_stores):
+        u = rng.random()
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        trace.append(TraceRecord(OpKind.STORE, start + lo * BLOCK, gap))
+    return trace
+
+
+def pointer_chase(
+    num_loads: int, span_blocks: int, start: int = HEAP_BASE, gap: int = 16, seed: int = 13
+) -> MemoryTrace:
+    """Dependent loads over a shuffled ring (latency-bound reads)."""
+    rng = random.Random(seed)
+    order = list(range(span_blocks))
+    rng.shuffle(order)
+    trace = MemoryTrace(name="pointer_chase")
+    position = 0
+    for _ in range(num_loads):
+        position = order[position % span_blocks]
+        trace.append(TraceRecord(OpKind.LOAD, start + position * BLOCK, gap))
+    return trace
+
+
+def kvstore_trace(
+    num_ops: int,
+    num_keys: int = 4096,
+    put_fraction: float = 0.5,
+    log_base: int = HEAP_BASE,
+    table_base: int = HEAP_BASE + (1 << 26),
+    gap: int = 12,
+    seed: int = 17,
+) -> MemoryTrace:
+    """A persistent key-value store: append-only log plus random table.
+
+    Each PUT appends a log record (sequential persistent stores — ideal
+    coalescing) then updates the key's table slot (random persistent
+    store) and issues an SFENCE, modelling a durable transaction commit.
+    GETs read the table slot.
+    """
+    rng = random.Random(seed)
+    trace = MemoryTrace(name="kvstore")
+    log_cursor = 0
+    for _ in range(num_ops):
+        key = rng.randrange(num_keys)
+        slot_addr = table_base + key * BLOCK
+        if rng.random() < put_fraction:
+            trace.append(
+                TraceRecord(OpKind.STORE, log_base + log_cursor * BLOCK, gap)
+            )
+            log_cursor += 1
+            trace.append(TraceRecord(OpKind.STORE, slot_addr, 2))
+            trace.append(TraceRecord(OpKind.SFENCE))
+        else:
+            trace.append(TraceRecord(OpKind.LOAD, slot_addr, gap))
+    return trace

@@ -1,0 +1,126 @@
+"""Memory trace container and record format.
+
+A trace is a sequence of memory operations annotated with the number of
+non-memory instructions preceding each (``gap``), whether the access
+targets the persistent region, and explicit epoch barriers (``SFENCE``)
+where the workload encodes them.  Addresses are byte addresses; block
+and page arithmetic uses 64 B blocks and 4 KB pages throughout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Union
+
+BLOCK_SHIFT = 6
+PAGE_SHIFT = 12
+
+
+class OpKind(enum.Enum):
+    """Trace operation type."""
+
+    LOAD = "L"
+    STORE = "S"
+    SFENCE = "F"
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes:
+        kind: Load, store, or persist barrier.
+        address: Byte address (0 for SFENCE).
+        gap: Non-memory instructions executed since the previous record.
+        persistent: Whether the address lies in the persistent region
+            (stack accesses are ``False`` under the paper's default).
+    """
+
+    kind: OpKind
+    address: int = 0
+    gap: int = 0
+    persistent: bool = True
+
+    @property
+    def block(self) -> int:
+        return self.address >> BLOCK_SHIFT
+
+    @property
+    def page(self) -> int:
+        return self.address >> PAGE_SHIFT
+
+
+class MemoryTrace:
+    """An in-memory trace with summary statistics and (de)serialization."""
+
+    def __init__(self, records: Optional[Iterable[TraceRecord]] = None, name: str = "trace") -> None:
+        self.name = name
+        self.records: List[TraceRecord] = list(records) if records is not None else []
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+
+    @property
+    def instruction_count(self) -> int:
+        """Total instructions: every record (sfence included) plus gaps."""
+        return len(self.records) + sum(r.gap for r in self.records)
+
+    def count(self, kind: OpKind, persistent_only: bool = False) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.kind is kind and (r.persistent or not persistent_only)
+        )
+
+    def stores_per_kilo_instruction(self, persistent_only: bool = False) -> float:
+        """Store PPKI — comparable to Table V's 'num stores' columns."""
+        instructions = self.instruction_count
+        if instructions == 0:
+            return 0.0
+        return 1000.0 * self.count(OpKind.STORE, persistent_only) / instructions
+
+    def touched_blocks(self) -> int:
+        return len({r.block for r in self.records if r.kind is not OpKind.SFENCE})
+
+    # ------------------------------------------------------------------
+    # (de)serialization: one record per line, "K address gap persistent"
+    # ------------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        with open(path, "w", encoding="ascii") as fh:
+            fh.write(f"# trace {self.name}\n")
+            for r in self.records:
+                fh.write(
+                    f"{r.kind.value} {r.address:x} {r.gap} {int(r.persistent)}\n"
+                )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "MemoryTrace":
+        trace = cls(name=Path(path).stem)
+        with open(path, "r", encoding="ascii") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                kind_s, addr_s, gap_s, persistent_s = line.split()
+                trace.append(
+                    TraceRecord(
+                        kind=OpKind(kind_s),
+                        address=int(addr_s, 16),
+                        gap=int(gap_s),
+                        persistent=bool(int(persistent_s)),
+                    )
+                )
+        return trace

@@ -1,0 +1,33 @@
+"""Shared fixtures: small geometries, keys, and helper factories."""
+
+import pytest
+
+from repro.crypto.bmt import BMTGeometry, BonsaiMerkleTree
+from repro.crypto.keys import KeySchedule
+
+
+@pytest.fixture
+def keys():
+    return KeySchedule(b"test-root-key")
+
+
+@pytest.fixture
+def small_geometry():
+    """A 64-leaf, 8-ary tree: 3 levels (root, middle, leaf)."""
+    return BMTGeometry(num_leaves=64, arity=8)
+
+
+@pytest.fixture
+def paper_geometry():
+    """The Table III tree: 8 GB memory, 2M counter pages, 9 levels."""
+    return BMTGeometry(num_leaves=2**21, arity=8, min_levels=9)
+
+
+@pytest.fixture
+def small_tree(small_geometry, keys):
+    return BonsaiMerkleTree(small_geometry, keys)
+
+
+def make_block(tag: int, size: int = 64) -> bytes:
+    """Deterministic distinct 64-byte payloads for tests."""
+    return bytes((tag * 31 + i) % 256 for i in range(size))

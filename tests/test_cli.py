@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_list_shows_schemes_and_benchmarks(capsys):
+    code, out, _ = run_cli(capsys, "list")
+    assert code == 0
+    for scheme in ("secure_wb", "sp", "pipeline", "o3", "coalescing", "sgx_sp"):
+        assert scheme in out
+    assert "gamess" in out and "milc" in out
+
+
+def test_run_prints_comparison_table(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "milc", "--ki", "5", "--schemes", "secure_wb,sp"
+    )
+    assert code == 0
+    assert "milc" in out
+    assert "secure_wb" in out and "sp" in out
+    assert "vs secure_wb" in out
+
+
+def test_run_unknown_benchmark_fails(capsys):
+    code, _, err = run_cli(capsys, "run", "doom")
+    assert code == 2
+    assert "unknown benchmark" in err
+
+
+def test_run_full_memory_flag(capsys):
+    code, out, _ = run_cli(
+        capsys, "run", "milc", "--ki", "5", "--schemes", "secure_wb,sp", "--full-memory"
+    )
+    assert code == 0
+    assert "full memory" in out
+
+
+def test_sweep(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "sweep",
+        "--benchmark", "milc",
+        "--scheme", "o3",
+        "--param", "epoch_size",
+        "--values", "8,32",
+        "--ki", "5",
+    )
+    assert code == 0
+    assert "epoch_size" in out
+    assert "8" in out and "32" in out
+
+
+def test_sweep_unknown_param_fails(capsys):
+    code, _, err = run_cli(
+        capsys, "sweep", "--param", "warp_factor", "--values", "1"
+    )
+    assert code == 2
+    assert "unknown SystemConfig parameter" in err
+
+
+def test_crash_broken_mode_shows_failure(capsys):
+    code, out, _ = run_cli(capsys, "crash", "--drop", "counter")
+    assert code == 0
+    assert "recovered consistently: False" in out
+    assert "Wrong plaintext" in out
+
+
+def test_crash_atomic_mode_recovers(capsys):
+    code, out, _ = run_cli(capsys, "crash", "--drop", "counter", "--atomic")
+    assert code == 0
+    assert "recovered consistently: True" in out
+    assert "old value" in out
+
+
+def test_rebuild_time(capsys):
+    code, out, _ = run_cli(capsys, "rebuild-time", "--pages", "100")
+    assert code == 0
+    assert "full" in out and "touched" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_figure_renders_bars(capsys):
+    code, out, _ = run_cli(capsys, "figure", "fig10", "--ki", "5")
+    assert code == 0
+    assert "normalized to secure_WB" in out
+    assert "o3" in out and "coalescing" in out
+    assert "|#" in out  # bars rendered
+
+
+def test_figure_unknown_name_rejected(capsys):
+    with pytest.raises(SystemExit):
+        run_cli(capsys, "figure", "fig99")

@@ -1,0 +1,138 @@
+"""Tests for LCA update coalescing (PLP mechanism 3)."""
+
+import pytest
+
+from repro.core.coalescing import CoalescingUnit
+from repro.crypto.bmt import BMTGeometry
+
+
+@pytest.fixture
+def unit(small_geometry):
+    return CoalescingUnit(small_geometry)
+
+
+def test_single_persist_keeps_full_path(unit, small_geometry):
+    [only] = unit.coalesce_epoch([(0, 5)])
+    assert only.path == small_geometry.update_path(5)
+    assert only.delegated_to is None
+
+
+def test_sibling_pair_coalesces_at_parent(unit, small_geometry):
+    leading, trailing = unit.coalesce_epoch([(0, 0), (1, 1)])
+    lca = small_geometry.lca_of_leaves(0, 1)
+    # Leading stops strictly below the LCA.
+    assert leading.path == [small_geometry.leaf_label(0)]
+    assert leading.delegated_to == 1
+    # Trailing keeps its full path (covers the shared suffix once).
+    assert trailing.path == small_geometry.update_path(1)
+    assert lca in trailing.path
+
+
+def test_update_count_savings(unit, small_geometry):
+    persists = unit.coalesce_epoch([(0, 0), (1, 1)])
+    total = CoalescingUnit.total_updates(persists)
+    assert total == 1 + small_geometry.levels
+    assert unit.uncoalesced_updates(2) == 2 * small_geometry.levels
+
+
+def test_figure5_chain():
+    """Reproduce Fig. 5 with the chained policy: 7 updates, not 12.
+
+    The figure illustrates delegation chains (δ1 → δ2 at X31, δ2 → δ3
+    at X21); the implementable *paired* policy below stops at disjoint
+    pairs.
+    """
+    geometry = BMTGeometry(num_leaves=64, arity=8, min_levels=4)
+    unit = CoalescingUnit(geometry, policy="chained")
+    # δ1 and δ2 in one level-2 subtree, δ3 in a sibling subtree so that
+    # LCA(δ1, δ2) is at level 3 and LCA(δ2, δ3) at level 2.
+    persists = unit.coalesce_epoch([(1, 0), (2, 1), (3, 9)])
+    assert [p.update_count for p in persists] == [1, 2, 4]
+    assert CoalescingUnit.total_updates(persists) == 7
+    assert persists[0].delegated_to == 2
+    assert persists[1].delegated_to == 3
+    assert persists[2].delegated_to is None
+
+
+def test_paired_policy_forms_disjoint_pairs():
+    """§V-C: a persist already coalesced does not coalesce again."""
+    geometry = BMTGeometry(num_leaves=64, arity=8, min_levels=4)
+    unit = CoalescingUnit(geometry, policy="paired")
+    persists = unit.coalesce_epoch([(1, 0), (2, 1), (3, 9), (4, 10)])
+    # (1,2) pair; 3 skipped (2 already paired); (3,4) pair.
+    assert persists[0].delegated_to == 2
+    assert persists[1].delegated_to is None
+    assert persists[2].delegated_to == 4
+    assert persists[3].delegated_to is None
+    # The paired policy saves less than chained on the same stream.
+    chained = CoalescingUnit(geometry, policy="chained").coalesce_epoch(
+        [(1, 0), (2, 1), (3, 9), (4, 10)]
+    )
+    assert CoalescingUnit.total_updates(persists) >= CoalescingUnit.total_updates(
+        chained
+    )
+
+
+def test_invalid_policy_rejected():
+    geometry = BMTGeometry(num_leaves=64, arity=8)
+    with pytest.raises(ValueError):
+        CoalescingUnit(geometry, policy="optimal")
+
+
+def test_same_leaf_fully_delegates(unit, small_geometry):
+    """Two persists to the same counter block: LCA is the leaf itself."""
+    leading, trailing = unit.coalesce_epoch([(0, 7), (1, 7)])
+    assert leading.path == []
+    assert leading.delegated_to == 1
+    assert trailing.path == small_geometry.update_path(7)
+
+
+def test_distant_leaves_coalesce_at_root(unit, small_geometry):
+    leading, trailing = unit.coalesce_epoch([(0, 0), (1, 63)])
+    # Only the root is shared: leading keeps all but the root.
+    assert leading.path == small_geometry.update_path(0)[:-1]
+    assert leading.delegated_to == 1
+
+
+def test_resolve_delegate_follows_chain():
+    geometry = BMTGeometry(num_leaves=64, arity=8, min_levels=4)
+    unit = CoalescingUnit(geometry, policy="chained")
+    persists = unit.coalesce_epoch([(1, 0), (2, 1), (3, 9)])
+    assert CoalescingUnit.resolve_delegate(persists, 1) == 3
+    assert CoalescingUnit.resolve_delegate(persists, 2) == 3
+    assert CoalescingUnit.resolve_delegate(persists, 3) == 3
+
+
+def test_root_updated_once_per_pair(unit, small_geometry):
+    """Under the paired policy each pair's root update is shared."""
+    persists = unit.coalesce_epoch([(i, i) for i in range(8)])
+    root_updates = sum(1 for p in persists if 0 in p.path)
+    # 8 persists form 4 pairs: the 4 trailing persists update the root.
+    assert root_updates == 4
+    chained = CoalescingUnit(small_geometry, policy="chained").coalesce_epoch(
+        [(i, i) for i in range(8)]
+    )
+    assert sum(1 for p in chained if 0 in p.path) == 1
+
+
+def test_coalescing_preserves_node_coverage(unit, small_geometry):
+    """Every node that any uncoalesced path would touch is still updated
+    by exactly one persist (no update is lost, only de-duplicated)."""
+    leaves = [0, 1, 2, 9, 10, 63]
+    persists = unit.coalesce_epoch(list(enumerate(leaves)))
+    covered = set()
+    for persist in persists:
+        covered.update(persist.path)
+    needed = set()
+    for leaf in leaves:
+        needed.update(small_geometry.update_path(leaf))
+    assert covered == needed
+
+
+def test_spatial_locality_improves_savings(unit, small_geometry):
+    """Same-page persists save more than scattered ones (§IV-B2)."""
+    local = unit.coalesce_epoch([(i, i) for i in range(8)])  # one subtree
+    scattered = unit.coalesce_epoch([(i, i * 8) for i in range(8)])
+    assert CoalescingUnit.total_updates(local) < CoalescingUnit.total_updates(
+        scattered
+    )

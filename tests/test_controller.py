@@ -1,0 +1,93 @@
+"""Tests for the memory-controller persist pipeline (WPQ + engine)."""
+
+import pytest
+
+from repro.core.controller import MemoryControllerPipeline
+from repro.core.schemes import UpdateScheme
+from repro.crypto.bmt import BMTGeometry
+from repro.mem.wpq import TupleItem
+
+
+@pytest.fixture
+def geometry():
+    return BMTGeometry(num_leaves=64, arity=8)  # 3 levels
+
+
+def make_pipeline(geometry, scheme=UpdateScheme.SP, **kwargs):
+    kwargs.setdefault("mac_latency", 10)
+    return MemoryControllerPipeline(geometry, scheme=scheme, **kwargs)
+
+
+def test_single_persist_full_lifecycle(geometry):
+    mc = make_pipeline(geometry, tuple_gather_delay=4)
+    assert mc.issue_persist(0, leaf_index=5)
+    mc.run_until_drained()
+    outcome = mc.outcomes[0]
+    # Tuple gathered after the transfer delay.
+    assert outcome.tuple_gathered_cycle == outcome.issued_cycle + 4
+    # Root ack after 3 levels x 10 cycles.
+    assert outcome.root_ack_cycle >= outcome.issued_cycle + 30
+    # Completion releases the WPQ entry.
+    assert mc.released == [0]
+    assert len(mc.wpq) == 0
+
+
+def test_completion_requires_both_tuple_and_root(geometry):
+    """2SP: a persist completes only when C/γ/M AND the root ack are in."""
+    mc = make_pipeline(geometry, tuple_gather_delay=100)  # slow tuples
+    mc.issue_persist(0, leaf_index=0)
+    mc.tick(50)
+    # Root has been updated (30 cycles), but the tuple hasn't arrived.
+    assert 0 in mc._acks
+    assert mc.released == []
+    mc.run_until_drained()
+    assert mc.released == [0]
+    outcome = mc.outcomes[0]
+    assert outcome.completed_cycle >= 100
+
+
+def test_wpq_backpressure(geometry):
+    mc = make_pipeline(geometry, wpq_capacity=2)
+    assert mc.issue_persist(0, 0)
+    assert mc.issue_persist(1, 1)
+    assert not mc.issue_persist(2, 2)  # WPQ full
+    mc.run_until_drained()
+    assert mc.issue_persist(2, 2)
+
+
+def test_sp_releases_in_order(geometry):
+    mc = make_pipeline(geometry, scheme=UpdateScheme.SP)
+    for i in range(5):
+        assert mc.issue_persist(i, leaf_index=(5 - i) % 64)
+    mc.run_until_drained()
+    assert mc.released == [0, 1, 2, 3, 4]
+    latencies = [mc.outcomes[i].latency for i in range(5)]
+    # Sequential engine: each persist waits for its predecessors.
+    assert latencies == sorted(latencies)
+
+
+def test_pipeline_scheme_overlaps(geometry):
+    sp = make_pipeline(geometry, scheme=UpdateScheme.SP)
+    pipe = make_pipeline(geometry, scheme=UpdateScheme.PIPELINE)
+    for mc in (sp, pipe):
+        for i in range(5):
+            assert mc.issue_persist(i, leaf_index=i)
+        mc.run_until_drained()
+    assert pipe.outcomes[4].completed_cycle < sp.outcomes[4].completed_cycle
+
+
+def test_epoch_scheme_drains_unlocked(geometry):
+    mc = make_pipeline(geometry, scheme=UpdateScheme.O3)
+    for i in range(4):
+        assert mc.issue_persist(i, leaf_index=i, epoch_id=0)
+    mc.run_until_drained()
+    assert sorted(mc.released) == [0, 1, 2, 3]
+
+
+def test_outcome_latency_accounting(geometry):
+    mc = make_pipeline(geometry)
+    mc.issue_persist(0, 0)
+    mc.run_until_drained()
+    outcome = mc.outcomes[0]
+    assert outcome.latency == outcome.completed_cycle - outcome.issued_cycle
+    assert outcome.latency > 0

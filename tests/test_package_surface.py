@@ -1,0 +1,65 @@
+"""Package-surface tests: imports, exports, and version metadata.
+
+Guards against broken `__all__` lists, stale re-exports, and modules
+that only break when first imported.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+ALL_MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+]
+
+
+def test_package_has_modules():
+    assert len(ALL_MODULES) > 25
+
+
+@pytest.mark.parametrize("module_name", ALL_MODULES)
+def test_every_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "repro",
+        "repro.core",
+        "repro.crypto",
+        "repro.mem",
+        "repro.persistency",
+        "repro.recovery",
+        "repro.sim",
+        "repro.system",
+        "repro.workloads",
+        "repro.analysis",
+    ],
+)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_api_is_usable():
+    # The README quickstart's names all exist at the top level.
+    for name in (
+        "FunctionalSecureMemory",
+        "run_benchmark",
+        "run_trace",
+        "SystemConfig",
+        "TraceSimulator",
+        "UpdateScheme",
+        "PersistencyModel",
+    ):
+        assert hasattr(repro, name)

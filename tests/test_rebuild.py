@@ -1,0 +1,84 @@
+"""Tests for the post-crash recovery-time model."""
+
+import pytest
+
+from repro.crypto.bmt import BMTGeometry
+from repro.recovery.rebuild import RecoveryEstimate, RecoveryTimeModel
+
+
+@pytest.fixture
+def model(small_geometry):
+    return RecoveryTimeModel(small_geometry, mac_latency=10, nvm_read_cycles=100)
+
+
+def test_full_rebuild_counts_every_node(model, small_geometry):
+    # 3 levels: 1 + 8 + 64 nodes.
+    assert model.full_rebuild_nodes() == 73
+
+
+def test_touched_rebuild_counts_distinct_path_nodes(model, small_geometry):
+    # One page: its whole path.
+    assert model.touched_rebuild_nodes([0]) == small_geometry.levels
+    # Two sibling pages share all ancestors: 2 leaves + 2 shared.
+    assert model.touched_rebuild_nodes([0, 1]) == 4
+    # Distant pages share only the root.
+    assert model.touched_rebuild_nodes([0, 63]) == 5
+
+
+def test_touched_never_exceeds_full(model):
+    assert model.touched_rebuild_nodes(range(64)) == model.full_rebuild_nodes()
+
+
+def test_estimate_full(model, small_geometry):
+    estimate = model.estimate("full")
+    assert estimate.counter_blocks_read == small_geometry.num_leaves
+    assert estimate.nodes_recomputed == 73
+    assert estimate.total_cycles > 0
+
+
+def test_estimate_touched_scales_with_footprint(model):
+    small = model.estimate("touched", range(2))
+    large = model.estimate("touched", range(32))
+    assert small.total_cycles < large.total_cycles
+    assert large.total_cycles <= model.estimate("full").total_cycles
+
+
+def test_touched_requires_pages(model):
+    with pytest.raises(ValueError):
+        model.estimate("touched")
+
+
+def test_invalid_strategy(model):
+    with pytest.raises(ValueError):
+        model.estimate("magic")
+
+
+def test_invalid_hash_units(small_geometry):
+    with pytest.raises(ValueError):
+        RecoveryTimeModel(small_geometry, hash_units=0)
+
+
+def test_hash_units_parallelize(small_geometry):
+    serial = RecoveryTimeModel(small_geometry, hash_units=1).estimate("full")
+    parallel = RecoveryTimeModel(small_geometry, hash_units=8).estimate("full")
+    assert parallel.hash_cycles < serial.hash_cycles
+
+
+def test_speedup_touched_vs_full_is_large_for_sparse(paper_geometry):
+    model = RecoveryTimeModel(paper_geometry)
+    assert model.speedup_touched_vs_full(range(100)) > 100
+
+
+def test_total_seconds(model):
+    estimate = model.estimate("full")
+    assert estimate.total_seconds(clock_ghz=4.0) == pytest.approx(
+        estimate.total_cycles / 4e9
+    )
+
+
+def test_paper_scale_full_rebuild_is_tens_of_ms(paper_geometry):
+    """An 8 GB memory's full rebuild lands in the tens of milliseconds —
+    the magnitude that motivated Anubis/Triad-NVM recovery work."""
+    model = RecoveryTimeModel(paper_geometry)
+    estimate = model.estimate("full")
+    assert 0.005 < estimate.total_seconds() < 0.5

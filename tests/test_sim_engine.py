@@ -1,0 +1,105 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def test_schedule_and_run_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(10, lambda: fired.append("b"))
+    engine.schedule(5, lambda: fired.append("a"))
+    engine.schedule(10, lambda: fired.append("c"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+    assert engine.now == 10
+
+
+def test_same_cycle_events_fire_in_scheduling_order():
+    engine = Engine()
+    fired = []
+    for tag in range(5):
+        engine.schedule(7, lambda t=tag: fired.append(t))
+    engine.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(ValueError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_cancel_skips_event():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(3, lambda: fired.append("x"))
+    engine.schedule(4, lambda: fired.append("y"))
+    engine.cancel(event)
+    engine.run()
+    assert fired == ["y"]
+
+
+def test_run_until_bound():
+    engine = Engine()
+    fired = []
+    engine.schedule(5, lambda: fired.append(5))
+    engine.schedule(50, lambda: fired.append(50))
+    engine.run(until=10)
+    assert fired == [5]
+    assert engine.now == 10
+    engine.run()
+    assert fired == [5, 50]
+
+
+def test_events_scheduled_during_run():
+    engine = Engine()
+    fired = []
+
+    def chain():
+        fired.append(engine.now)
+        if engine.now < 30:
+            engine.schedule(10, chain)
+
+    engine.schedule(10, chain)
+    engine.run()
+    assert fired == [10, 20, 30]
+
+
+def test_stop_halts_run():
+    engine = Engine()
+    fired = []
+    engine.schedule(1, lambda: (fired.append(1), engine.stop()))
+    engine.schedule(2, lambda: fired.append(2))
+    engine.run()
+    assert fired == [(1, None)] or fired == [1]  # tuple from lambda
+    assert engine.peek_time() == 2
+
+
+def test_step_returns_false_when_empty():
+    engine = Engine()
+    assert engine.step() is False
+
+
+def test_advance_to_moves_clock():
+    engine = Engine()
+    engine.advance_to(100)
+    assert engine.now == 100
+    with pytest.raises(ValueError):
+        engine.advance_to(50)
+
+
+def test_advance_to_refuses_to_skip_events():
+    engine = Engine()
+    engine.schedule(5, lambda: None)
+    with pytest.raises(RuntimeError):
+        engine.advance_to(10)
+
+
+def test_schedule_at_absolute():
+    engine = Engine()
+    fired = []
+    engine.schedule_at(42, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == [42]

@@ -1,0 +1,84 @@
+"""Tests for counters, histograms, and the stats registry."""
+
+import math
+
+import pytest
+
+from repro.sim.stats import Counter, Histogram, StatsRegistry, geometric_mean
+
+
+def test_counter_add_and_reset():
+    c = Counter("x")
+    c.add()
+    c.add(5)
+    assert c.value == 6
+    c.reset()
+    assert c.value == 0
+
+
+def test_histogram_mean_min_max():
+    h = Histogram("lat", bucket_width=10)
+    for sample in (5, 15, 25, 25):
+        h.record(sample)
+    assert h.count == 4
+    assert h.mean == pytest.approx(17.5)
+    assert h.minimum == 5
+    assert h.maximum == 25
+
+
+def test_histogram_buckets_sorted():
+    h = Histogram("lat", bucket_width=10)
+    for sample in (35, 5, 15):
+        h.record(sample)
+    assert [b for b, _ in h.buckets()] == [0, 10, 30]
+
+
+def test_histogram_percentile():
+    h = Histogram("lat", bucket_width=1)
+    for sample in range(100):
+        h.record(sample)
+    assert h.percentile(50) in range(49, 52)
+    assert h.percentile(100) >= 99
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_histogram_rejects_bad_bucket_width():
+    with pytest.raises(ValueError):
+        Histogram("x", bucket_width=0)
+
+
+def test_registry_namespacing():
+    reg = StatsRegistry()
+    child = reg.child("l1")
+    child.counter("hits").add(3)
+    reg.counter("total").add(1)
+    flat = reg.as_dict()
+    assert flat["l1.hits"] == 3
+    assert flat["total"] == 1
+
+
+def test_registry_counter_identity():
+    reg = StatsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+
+
+def test_registry_histogram_summary_in_dict():
+    reg = StatsRegistry()
+    reg.histogram("lat").record(10)
+    flat = reg.as_dict()
+    assert flat["lat.count"] == 1
+    assert flat["lat.mean"] == 10
+
+
+def test_geometric_mean_matches_definition():
+    values = [2.0, 8.0]
+    assert geometric_mean(values) == pytest.approx(4.0)
+    assert geometric_mean([7.2]) == pytest.approx(7.2)
+
+
+def test_geometric_mean_rejects_bad_input():
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])

@@ -1,0 +1,130 @@
+"""Tests for the synthetic trace generators."""
+
+import pytest
+
+from repro.persistency.epochs import EpochTracker
+from repro.workloads.synthetic import (
+    SyntheticSpec,
+    calibrate_pool,
+    expected_uniques,
+    generate_trace,
+    kvstore_trace,
+    pointer_chase,
+    sequential_stream,
+    strided_stream,
+    uniform_random,
+    zipfian,
+)
+from repro.workloads.trace import OpKind
+
+
+def test_generate_trace_is_deterministic():
+    spec = SyntheticSpec(kilo_instructions=5, seed=99)
+    a = generate_trace(spec)
+    b = generate_trace(spec)
+    assert a.records == b.records
+
+
+def test_generate_trace_store_rate():
+    spec = SyntheticSpec(kilo_instructions=10, stores_per_ki=80, loads_per_ki=100)
+    trace = generate_trace(spec)
+    assert trace.stores_per_kilo_instruction() == pytest.approx(80, rel=0.05)
+
+
+def test_generate_trace_stack_fraction():
+    spec = SyntheticSpec(
+        kilo_instructions=10, stores_per_ki=100, stack_store_fraction=0.4, seed=1
+    )
+    trace = generate_trace(spec)
+    total = trace.count(OpKind.STORE)
+    persistent = trace.count(OpKind.STORE, persistent_only=True)
+    assert 1 - persistent / total == pytest.approx(0.4, abs=0.05)
+
+
+def test_generate_trace_epoch_uniques_track_pool():
+    spec = SyntheticSpec(
+        kilo_instructions=10,
+        stores_per_ki=100,
+        stack_store_fraction=0.0,
+        pool_blocks=8,
+        new_block_rate=0.0,
+        seed=5,
+    )
+    trace = generate_trace(spec)
+    tracker = EpochTracker(32)
+    for r in trace:
+        if r.kind is OpKind.STORE and r.persistent:
+            tracker.record_store(r.block)
+    tracker.flush()
+    mean_uniques = tracker.total_persists() / len(tracker.closed_epochs)
+    assert mean_uniques == pytest.approx(
+        expected_uniques(8, 0.0, 32), rel=0.2
+    )
+
+
+def test_expected_uniques_bounds():
+    assert expected_uniques(1, 0.0, 32) == pytest.approx(1.0)
+    assert expected_uniques(10_000, 1.0, 32) == 32.0
+    assert expected_uniques(16, 0.0, 64) <= 16.0
+
+
+def test_expected_uniques_monotone_in_pool():
+    values = [expected_uniques(p, 0.05, 32) for p in (1, 4, 16, 64)]
+    assert values == sorted(values)
+
+
+def test_calibrate_pool_hits_target():
+    for target in (2.0, 8.0, 19.0, 28.0):
+        pool = calibrate_pool(target, new_rate=0.0, window=32)
+        achieved = expected_uniques(pool, 0.0, 32)
+        assert achieved >= target * 0.85
+
+
+def test_sequential_stream_blocks():
+    trace = sequential_stream(10, start=0)
+    assert [r.block for r in trace] == list(range(10))
+
+
+def test_strided_stream():
+    trace = strided_stream(4, stride_blocks=8, start=0)
+    assert [r.block for r in trace] == [0, 8, 16, 24]
+
+
+def test_uniform_random_span():
+    trace = uniform_random(100, span_blocks=16, start=0)
+    assert all(0 <= r.block < 16 for r in trace)
+
+
+def test_zipfian_is_skewed():
+    trace = zipfian(2000, span_blocks=64, skew=1.2, start=0)
+    counts = {}
+    for r in trace:
+        counts[r.block] = counts.get(r.block, 0) + 1
+    hottest = max(counts.values())
+    assert hottest > 2000 / 64 * 4  # far above uniform share
+
+
+def test_zipfian_rejects_bad_skew():
+    with pytest.raises(ValueError):
+        zipfian(10, 10, skew=0)
+
+
+def test_pointer_chase_stays_in_span():
+    trace = pointer_chase(50, span_blocks=32, start=0)
+    assert all(r.kind is OpKind.LOAD for r in trace)
+    assert all(r.block < 32 for r in trace)
+
+
+def test_kvstore_has_barriers_and_log_appends():
+    trace = kvstore_trace(200, num_keys=64, put_fraction=1.0, seed=3)
+    kinds = [r.kind for r in trace]
+    assert OpKind.SFENCE in kinds
+    # Log appends are sequential persistent stores.
+    log_blocks = [r.block for r in trace if r.kind is OpKind.STORE][::2]
+    assert log_blocks == sorted(log_blocks)
+
+
+def test_kvstore_get_only_has_no_stores():
+    trace = kvstore_trace(100, put_fraction=0.0, seed=4)
+    assert trace.count(OpKind.STORE) == 0
+    assert trace.count(OpKind.LOAD) == 100

@@ -1,0 +1,75 @@
+"""Tests for trace records and (de)serialization."""
+
+import pytest
+
+from repro.workloads.trace import MemoryTrace, OpKind, TraceRecord
+
+
+def test_record_block_and_page_arithmetic():
+    r = TraceRecord(OpKind.STORE, address=0x1040, gap=3)
+    assert r.block == 0x41
+    assert r.page == 0x1
+
+
+def test_instruction_count_includes_gaps_and_ops():
+    trace = MemoryTrace(
+        [
+            TraceRecord(OpKind.LOAD, 0, gap=9),
+            TraceRecord(OpKind.STORE, 64, gap=9),
+            TraceRecord(OpKind.SFENCE),
+        ]
+    )
+    assert trace.instruction_count == 3 + 18
+
+
+def test_counts_and_persistent_filter():
+    trace = MemoryTrace(
+        [
+            TraceRecord(OpKind.STORE, 0, persistent=True),
+            TraceRecord(OpKind.STORE, 64, persistent=False),
+            TraceRecord(OpKind.LOAD, 0),
+        ]
+    )
+    assert trace.count(OpKind.STORE) == 2
+    assert trace.count(OpKind.STORE, persistent_only=True) == 1
+    assert trace.count(OpKind.LOAD) == 1
+
+
+def test_stores_per_kilo_instruction():
+    records = [TraceRecord(OpKind.STORE, i * 64, gap=9) for i in range(100)]
+    trace = MemoryTrace(records)
+    assert trace.stores_per_kilo_instruction() == pytest.approx(100.0)
+
+
+def test_touched_blocks():
+    trace = MemoryTrace(
+        [
+            TraceRecord(OpKind.STORE, 0),
+            TraceRecord(OpKind.STORE, 32),  # same block
+            TraceRecord(OpKind.LOAD, 128),
+        ]
+    )
+    assert trace.touched_blocks() == 2
+
+
+def test_save_load_roundtrip(tmp_path):
+    trace = MemoryTrace(
+        [
+            TraceRecord(OpKind.STORE, 0x1000, gap=7, persistent=True),
+            TraceRecord(OpKind.LOAD, 0x2040, gap=0, persistent=False),
+            TraceRecord(OpKind.SFENCE),
+        ],
+        name="demo",
+    )
+    path = tmp_path / "demo.trace"
+    trace.save(path)
+    loaded = MemoryTrace.load(path)
+    assert loaded.records == trace.records
+    assert loaded.name == "demo"
+
+
+def test_empty_trace():
+    trace = MemoryTrace()
+    assert len(trace) == 0
+    assert trace.instruction_count == 0
+    assert trace.stores_per_kilo_instruction() == 0.0

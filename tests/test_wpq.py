@@ -1,0 +1,140 @@
+"""Tests for the write pending queue and 2SP semantics."""
+
+import pytest
+
+from repro.mem.wpq import (
+    REQUIRED_ITEMS,
+    TupleItem,
+    WPQFullError,
+    WritePendingQueue,
+)
+
+
+def full_delivery(wpq, pid, epoch=None, locked=True):
+    wpq.allocate(pid, epoch_id=epoch, locked=locked)
+    wpq.deliver(pid, TupleItem.DATA)
+    wpq.deliver(pid, TupleItem.COUNTER)
+    wpq.deliver(pid, TupleItem.MAC)
+    wpq.ack_root(pid)
+
+
+def test_allocate_and_capacity():
+    wpq = WritePendingQueue(capacity=2)
+    wpq.allocate(0)
+    wpq.allocate(1)
+    assert wpq.full
+    with pytest.raises(WPQFullError):
+        wpq.allocate(2)
+
+
+def test_duplicate_allocation_rejected():
+    wpq = WritePendingQueue()
+    wpq.allocate(0)
+    with pytest.raises(ValueError):
+        wpq.allocate(0)
+
+
+def test_completion_requires_all_four_items():
+    wpq = WritePendingQueue()
+    wpq.allocate(0)
+    for item in (TupleItem.DATA, TupleItem.COUNTER, TupleItem.MAC):
+        wpq.deliver(0, item)
+        assert not wpq.entry(0).complete
+    wpq.ack_root(0)
+    assert wpq.entry(0).complete
+    assert wpq.persists_completed == 1
+
+
+def test_missing_reports_outstanding_items():
+    wpq = WritePendingQueue()
+    wpq.allocate(0)
+    wpq.deliver(0, TupleItem.DATA)
+    assert wpq.entry(0).missing() == REQUIRED_ITEMS - {TupleItem.DATA}
+
+
+def test_drain_releases_fifo_completed_prefix():
+    wpq = WritePendingQueue()
+    full_delivery(wpq, 0)
+    wpq.allocate(1)  # incomplete
+    full_delivery(wpq, 2)
+    released = wpq.drain_completed()
+    assert [e.persist_id for e in released] == [0]
+    assert len(wpq) == 2  # 1 blocks 2 (FIFO)
+
+
+def test_locked_entries_do_not_drain_items_early():
+    wpq = WritePendingQueue()
+    wpq.allocate(0, locked=True)
+    wpq.deliver(0, TupleItem.DATA)
+    assert wpq.entry(0).drained == set()
+
+
+def test_unlocked_entries_drain_items_as_they_arrive():
+    wpq = WritePendingQueue()
+    wpq.allocate(0, epoch_id=0, locked=False)
+    wpq.deliver(0, TupleItem.DATA)
+    assert TupleItem.DATA in wpq.entry(0).drained
+
+
+def test_epoch_completion_tracking():
+    wpq = WritePendingQueue()
+    full_delivery(wpq, 0, epoch=0, locked=False)
+    wpq.allocate(1, epoch_id=0, locked=False)
+    assert not wpq.epoch_complete(0)
+    wpq.deliver(1, TupleItem.DATA)
+    wpq.deliver(1, TupleItem.COUNTER)
+    wpq.deliver(1, TupleItem.MAC)
+    wpq.ack_root(1)
+    assert wpq.epoch_complete(0)
+
+
+def test_unlock_epoch_drains_gathered_items():
+    wpq = WritePendingQueue()
+    wpq.allocate(0, epoch_id=1, locked=True)
+    wpq.deliver(0, TupleItem.DATA)
+    wpq.unlock_epoch(1)
+    entry = wpq.entry(0)
+    assert not entry.locked
+    assert TupleItem.DATA in entry.drained
+
+
+def test_crash_invalidates_incomplete_locked_entries():
+    """The heart of 2SP: partial tuples never reach NVM."""
+    wpq = WritePendingQueue()
+    full_delivery(wpq, 0)
+    wpq.allocate(1)
+    wpq.deliver(1, TupleItem.DATA)
+    wpq.deliver(1, TupleItem.COUNTER)  # no MAC, no root ack
+    persisted, invalidated = wpq.crash_flush()
+    assert [e.persist_id for e in persisted] == [0]
+    assert [e.persist_id for e in invalidated] == [1]
+    assert len(wpq) == 0
+
+
+def test_crash_preserves_unlocked_drained_items():
+    """EP: same-epoch items that already drained are durable."""
+    wpq = WritePendingQueue()
+    wpq.allocate(0, epoch_id=0, locked=False)
+    wpq.deliver(0, TupleItem.DATA)
+    persisted, invalidated = wpq.crash_flush()
+    assert [e.persist_id for e in persisted] == [0]
+    assert persisted[0].drained == {TupleItem.DATA}
+    assert invalidated == []
+
+
+def test_payloads_travel_with_items():
+    wpq = WritePendingQueue()
+    wpq.allocate(0)
+    wpq.deliver(0, TupleItem.DATA, payload=b"cipher")
+    assert wpq.entry(0).payloads[TupleItem.DATA] == b"cipher"
+
+
+def test_unknown_persist_raises():
+    wpq = WritePendingQueue()
+    with pytest.raises(KeyError):
+        wpq.deliver(0, TupleItem.DATA)
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        WritePendingQueue(capacity=0)
