@@ -29,7 +29,11 @@ def run_fig10():
 
 def test_fig10_ep_schemes(benchmark):
     table, per_bench, means = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
-    archive("fig10_ep_schemes", table.render())
+    archive(
+        "fig10_ep_schemes",
+        table.render(),
+        data={"per_benchmark": per_bench, "geomean": means},
+    )
     # Paper: ~20 % overhead for both EP schemes.
     assert means["o3"] < 1.4
     assert means["coalescing"] < 1.4

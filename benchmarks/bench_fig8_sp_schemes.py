@@ -39,7 +39,11 @@ def run_fig8():
 
 def test_fig8_sp_schemes(benchmark):
     table, per_bench, means = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
-    archive("fig8_sp_schemes", table.render())
+    archive(
+        "fig8_sp_schemes",
+        table.render(),
+        data={"per_benchmark": per_bench, "geomean": means},
+    )
     # Shape assertions: sp is by far the slowest; pipelining recovers a
     # large factor (paper: 3.4x); unordered hugely underestimates sp.
     assert means["sp"] > 4.0

@@ -40,7 +40,11 @@ def run_headline():
 
 def test_headline_overheads(benchmark):
     table, default, full = benchmark.pedantic(run_headline, rounds=1, iterations=1)
-    archive("headline_overheads", table.render())
+    archive(
+        "headline_overheads",
+        table.render(),
+        data={"default": default, "full_memory": full, "paper": PAPER, "paper_full": PAPER_FULL},
+    )
     # Ordering: sp >> pipeline >> o3 >= coalescing (both tiers).
     for row in (default, full):
         assert row["sp"] > row["pipeline"] > row["o3"]

@@ -1,0 +1,169 @@
+"""Perf-regression harness for the sweep runner and simulator hot path.
+
+Runs the same ``benchmark x scheme`` sweep three ways and times each
+stage:
+
+1. ``sequential`` — one process, result cache disabled (the plain
+   in-process path every artifact used before the runner existed).
+2. ``runner_cold`` — the parallel runner against a fresh cache
+   directory, so every job is a cache miss and actually simulates.
+3. ``runner_warm`` — the same sweep again; every job should be served
+   from the content-addressed cache without simulating.
+
+All three stages must produce bit-identical results (the full
+``SimResult`` is compared field by field); the harness fails hard if
+they ever diverge.  Timings, speedups vs the sequential stage, and
+cache statistics are written to ``BENCH_perf.json`` at the repo root
+(and mirrored under ``benchmarks/results/``) for trend tracking.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick --jobs 2
+
+Note on speedups: on a single-core host the cold runner cannot beat the
+sequential stage (there is no parallelism to exploit); the headline
+win there is the warm stage, which skips simulation entirely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.sweep import SweepJob, code_version, run_jobs
+
+from common import RESULTS_DIR, SUBSET, TRACE_KI
+
+FULL_SCHEMES = ["secure_wb", "sp", "pipeline", "o3", "coalescing"]
+QUICK_SCHEMES = ["secure_wb", "sp", "coalescing"]
+QUICK_BENCHMARKS = ["gamess", "gcc"]
+QUICK_KI = 5
+
+REQUIRED_FIELDS = ("cycles", "persists", "node_updates", "ppki")
+
+
+def build_jobs(quick: bool):
+    benchmarks = QUICK_BENCHMARKS if quick else SUBSET
+    schemes = QUICK_SCHEMES if quick else FULL_SCHEMES
+    ki = QUICK_KI if quick else TRACE_KI
+    jobs = [
+        SweepJob.make(name, scheme, ki)
+        for name in benchmarks
+        for scheme in schemes
+    ]
+    matrix = {"benchmarks": benchmarks, "schemes": schemes, "kilo_instructions": ki}
+    return jobs, matrix
+
+
+def run_stage(name: str, jobs, workers: int, cache) -> dict:
+    start = time.perf_counter()
+    results, report = run_jobs(jobs, workers=workers, cache=cache)
+    wall = time.perf_counter() - start
+    stage = {"name": name, **report.as_dict()}
+    stage["wall_seconds"] = round(wall, 6)  # end-to-end, including pool spin-up
+    return stage, results
+
+
+def fingerprints(results) -> list:
+    # Every stored field plus the derived headline metric (ppki is a
+    # property, so asdict alone would not surface it).
+    return [{**dataclasses.asdict(result), "ppki": result.ppki} for result in results]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"tiny matrix ({len(QUICK_BENCHMARKS)}x{len(QUICK_SCHEMES)} at {QUICK_KI} KI) for CI smoke runs",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=max(1, int(os.environ.get("PLP_BENCH_JOBS", "2"))),
+        help="worker processes for the runner stages (default PLP_BENCH_JOBS or 2)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_perf.json",
+        help="where to write the machine-readable report",
+    )
+    args = parser.parse_args(argv)
+
+    jobs, matrix = build_jobs(args.quick)
+    print(
+        f"bench_perf: {len(jobs)} jobs "
+        f"({len(matrix['benchmarks'])} benchmarks x {len(matrix['schemes'])} schemes, "
+        f"{matrix['kilo_instructions']} KI), runner stages use --jobs {args.jobs}"
+    )
+
+    stages = []
+    with tempfile.TemporaryDirectory(prefix="plp-bench-perf-") as cache_dir:
+        seq_stage, seq_results = run_stage("sequential", jobs, workers=1, cache=False)
+        stages.append((seq_stage, seq_results))
+        cold_stage, cold_results = run_stage(
+            "runner_cold", jobs, workers=args.jobs, cache=cache_dir
+        )
+        stages.append((cold_stage, cold_results))
+        warm_stage, warm_results = run_stage(
+            "runner_warm", jobs, workers=args.jobs, cache=cache_dir
+        )
+        stages.append((warm_stage, warm_results))
+
+    # Determinism: every stage must reproduce the sequential results
+    # exactly — full SimResult equality, not just the headline counters.
+    golden = fingerprints(seq_results)
+    for stage, results in stages[1:]:
+        if fingerprints(results) != golden:
+            print(f"FAIL: stage {stage['name']!r} diverged from sequential", file=sys.stderr)
+            return 1
+    for field in REQUIRED_FIELDS:
+        assert field in golden[0], f"SimResult lost field {field!r}"
+
+    seq_wall = stages[0][0]["wall_seconds"]
+    report = {
+        "bench": "bench_perf",
+        "quick": args.quick,
+        "jobs_flag": args.jobs,
+        "matrix": matrix,
+        "code_version": code_version(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "determinism": {
+            "checked_jobs": len(jobs),
+            "compared_stages": [stage["name"] for stage, _ in stages[1:]],
+            "identical": True,
+        },
+        "stages": [],
+    }
+    for stage, _ in stages:
+        stage["speedup_vs_sequential"] = (
+            round(seq_wall / stage["wall_seconds"], 3) if stage["wall_seconds"] > 0 else None
+        )
+        report["stages"].append(stage)
+        print(
+            f"  {stage['name']:12s} {stage['wall_seconds']:8.3f}s  "
+            f"{stage['speedup_vs_sequential']:>7}x vs sequential  "
+            f"hit rate {stage['cache_hit_rate']:.0%}  "
+            f"{stage['jobs_per_second']:.1f} jobs/s"
+        )
+
+    payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
+    args.out.write_text(payload, encoding="utf-8")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_perf.json").write_text(payload, encoding="utf-8")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

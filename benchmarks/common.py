@@ -1,20 +1,28 @@
 """Shared helpers for the benchmark harness.
 
 Every bench regenerates one paper artifact (table or figure), prints it,
-and archives the rendered text under ``benchmarks/results/`` so that
-``EXPERIMENTS.md`` can be refreshed from a single run.
+and archives the rendered text under ``benchmarks/results/`` (plus an
+optional raw-number JSON sidecar) so that ``EXPERIMENTS.md`` can be
+refreshed from a single run.
+
+All simulations are routed through :mod:`repro.sweep`: results land in
+the content-addressed on-disk cache (invalidated by any source change),
+so re-running an unchanged artifact is a cache hit, and sweeps fan out
+across processes when ``PLP_BENCH_JOBS``/``jobs=`` asks for more than
+one worker.  Set ``PLP_NO_RESULT_CACHE=1`` to force fresh simulations.
 """
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.sim.stats import geometric_mean
+from repro.sweep import SweepJob, cached_profile_trace, run_jobs
 from repro.system.config import SystemConfig
-from repro.system.factory import run_trace
 from repro.system.timing import SimResult
-from repro.workloads.spec_profiles import SPEC_PROFILES, profile_trace
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -25,15 +33,20 @@ SUBSET = ["gamess", "bwaves", "gcc", "milc", "zeusmp"]
 """Representative subset (high/low PPKI, streaming, eviction-heavy) for
 the sensitivity studies."""
 
-_trace_cache: Dict[tuple, object] = {}
+
+def default_jobs() -> int:
+    """Worker count for bench sweeps (``PLP_BENCH_JOBS``, default 1)."""
+    return max(1, int(os.environ.get("PLP_BENCH_JOBS", "1")))
 
 
 def bench_trace(name: str, kilo_instructions: int = TRACE_KI, seed: int = 2020):
-    """Cached per-benchmark trace (traces are deterministic)."""
-    key = (name, kilo_instructions, seed)
-    if key not in _trace_cache:
-        _trace_cache[key] = profile_trace(name, kilo_instructions, seed)
-    return _trace_cache[key]
+    """Cached per-benchmark trace (traces are deterministic).
+
+    Delegates to the sweep runner's bounded per-process LRU, so the
+    cache stays small and workers rebuild traces locally instead of
+    receiving them pickled through the pool.
+    """
+    return cached_profile_trace(name, kilo_instructions, seed)
 
 
 def run_scheme(
@@ -44,25 +57,46 @@ def run_scheme(
     **overrides,
 ) -> SimResult:
     """Run one benchmark under one scheme with its calibrated core IPC."""
-    profile = SPEC_PROFILES[name]
-    overrides.setdefault("core_ipc", profile.core_ipc)
-    return run_trace(bench_trace(name, kilo_instructions), scheme, config, **overrides)
+    job = SweepJob.make(name, scheme, kilo_instructions, **overrides)
+    results, _ = run_jobs([job], workers=1, base_config=config)
+    return results[0]
 
 
 def slowdowns(
     names: Iterable[str],
     schemes: Iterable[str],
     baseline: str = "secure_wb",
+    jobs: Optional[int] = None,
+    config: SystemConfig | None = None,
+    kilo_instructions: int = TRACE_KI,
     **overrides,
 ) -> Dict[str, Dict[str, float]]:
-    """Per-benchmark slowdown of each scheme vs the baseline."""
+    """Per-benchmark slowdown of each scheme vs the baseline.
+
+    Args:
+        jobs: Worker processes for the sweep (default
+            ``PLP_BENCH_JOBS`` or 1).  Results are bit-identical to the
+            sequential path regardless of the worker count.
+    """
+    names = list(names)
+    schemes = list(schemes)
+    sweep = [
+        SweepJob.make(name, scheme, kilo_instructions, **overrides)
+        for name in names
+        for scheme in [baseline] + schemes
+    ]
+    results, _ = run_jobs(
+        sweep, workers=jobs if jobs is not None else default_jobs(), base_config=config
+    )
     out: Dict[str, Dict[str, float]] = {}
-    for name in names:
-        base = run_scheme(name, baseline, **overrides)
-        row = {}
-        for scheme in schemes:
-            row[scheme] = run_scheme(name, scheme, **overrides).slowdown_vs(base)
-        out[name] = row
+    per_name = len(schemes) + 1
+    for i, name in enumerate(names):
+        chunk = results[i * per_name : (i + 1) * per_name]
+        base = chunk[0]
+        out[name] = {
+            scheme: result.slowdown_vs(base)
+            for scheme, result in zip(schemes, chunk[1:])
+        }
     return out
 
 
@@ -73,9 +107,19 @@ def geomean_row(per_bench: Dict[str, Dict[str, float]], schemes: Iterable[str]) 
     }
 
 
-def archive(name: str, text: str) -> None:
-    """Print the artifact and store it under benchmarks/results/."""
+def archive(name: str, text: str, data: Optional[dict] = None) -> None:
+    """Print the artifact and store it under benchmarks/results/.
+
+    Args:
+        data: Optional raw numbers; written as a ``<name>.json`` sidecar
+            so artifacts (and the perf trajectory) can be regenerated
+            programmatically instead of re-parsed from rendered text.
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    if data is not None:
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )

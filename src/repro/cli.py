@@ -24,6 +24,7 @@ from repro.mem.wpq import TupleItem
 from repro.recovery.crash import CrashInjector
 from repro.recovery.rebuild import RecoveryTimeModel
 from repro.system.config import SystemConfig
+from repro.sweep import SweepJob, run_jobs
 from repro.system.factory import run_benchmark
 from repro.system.secure_memory import FunctionalSecureMemory
 from repro.workloads.spec_profiles import SPEC_PROFILES
@@ -71,13 +72,18 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.benchmark not in SPEC_PROFILES:
         print(f"unknown benchmark {args.benchmark!r}; see `plp-repro list`", file=sys.stderr)
         return 2
-    results = run_benchmark(
-        args.benchmark,
-        schemes,
-        kilo_instructions=args.ki,
-        seed=args.seed,
-        protect_stack=args.full_memory,
-    )
+    jobs = [
+        SweepJob.make(
+            args.benchmark,
+            scheme.value,
+            kilo_instructions=args.ki,
+            seed=args.seed,
+            protect_stack=args.full_memory,
+        )
+        for scheme in schemes
+    ]
+    flat, report = run_jobs(jobs, workers=args.jobs, cache=not args.no_cache)
+    results = {scheme.value: result for scheme, result in zip(schemes, flat)}
     base_name = schemes[0].value
     base = results[base_name]
     table = Table(
@@ -102,21 +108,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if not hasattr(SystemConfig(), args.param):
         print(f"unknown SystemConfig parameter {args.param!r}", file=sys.stderr)
         return 2
+    jobs = [
+        SweepJob.make(
+            args.benchmark,
+            name,
+            kilo_instructions=args.ki,
+            **{args.param: value},
+        )
+        for value in values
+        for name in ("secure_wb", scheme.value)
+    ]
+    flat, report = run_jobs(jobs, workers=args.jobs, cache=not args.no_cache)
     table = Table(
         f"{args.benchmark} / {scheme.value}: sweep of {args.param}",
         [args.param, "cycles", "vs secure_wb"],
     )
-    for value in values:
-        results = run_benchmark(
-            args.benchmark,
-            ["secure_wb", scheme],
-            kilo_instructions=args.ki,
-            **{args.param: value},
-        )
-        result = results[scheme.value]
-        base = results["secure_wb"]
+    for i, value in enumerate(values):
+        base, result = flat[2 * i], flat[2 * i + 1]
         table.add_row(str(value), f"{result.cycles:,}", f"{result.slowdown_vs(base):.3f}x")
     print(table)
+    print(f"sweep: {report.summary()}")
     return 0
 
 
@@ -216,6 +227,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ki", type=int, default=25, help="trace length in kilo-instructions")
     run.add_argument("--seed", type=int, default=2020)
     run.add_argument("--full-memory", action="store_true", help="persist the stack too ('_full' configs)")
+    run.add_argument("--jobs", type=int, default=1, help="worker processes for the simulations")
+    run.add_argument("--no-cache", action="store_true", help="bypass the on-disk result cache")
     run.set_defaults(func=cmd_run)
 
     sweep = sub.add_parser("sweep", help="sweep one SystemConfig parameter")
@@ -224,6 +237,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--param", default="epoch_size")
     sweep.add_argument("--values", default="4,8,16,32,64,128,256")
     sweep.add_argument("--ki", type=int, default=25)
+    sweep.add_argument("--jobs", type=int, default=1, help="worker processes for the sweep")
+    sweep.add_argument("--no-cache", action="store_true", help="bypass the on-disk result cache")
     sweep.set_defaults(func=cmd_sweep)
 
     crash = sub.add_parser("crash", help="crash-injection demo (Table I rows)")

@@ -50,6 +50,8 @@ class OccupancyRing:
     full, a new admission waits for the oldest entry to release.
     """
 
+    __slots__ = ("capacity", "_releases")
+
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -92,15 +94,22 @@ class ScoreboardBase:
 
     def _level_costs(self, path: Sequence[int]) -> List[int]:
         """Per-node update cost (MAC latency + any BMT cache miss)."""
+        mac = self.mac_latency
+        metadata = self.metadata
+        if metadata is None:
+            self.node_update_count += len(path)
+            return [mac] * len(path)
+        miss = self.bmt_miss_latency
+        access = metadata.access_bmt_node
         costs = []
+        misses = 0
         for label in path:
-            cost = self.mac_latency
-            if self.metadata is not None and not self.metadata.access_bmt_node(
-                label, is_write=True
-            ):
-                cost += self.bmt_miss_latency
-                self.bmt_cache_misses += 1
-            costs.append(cost)
+            if access(label, is_write=True):
+                costs.append(mac)
+            else:
+                costs.append(mac + miss)
+                misses += 1
+        self.bmt_cache_misses += misses
         self.node_update_count += len(path)
         return costs
 
@@ -127,7 +136,7 @@ class SequentialScoreboard(ScoreboardBase):
         self._engine_free = 0
 
     def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
-        path = self.geometry.update_path(leaf_index)
+        path = self.geometry.path_tuple(leaf_index)
         costs = self._level_costs(path)
         start = max(arrival, self._engine_free)
         completion = start + sum(costs)
@@ -147,14 +156,18 @@ class PipelineScoreboard(ScoreboardBase):
         self._level_done: Dict[int, int] = {}
 
     def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
-        path = self.geometry.update_path(leaf_index)
+        path = self.geometry.path_tuple(leaf_index)
         costs = self._level_costs(path)
         t = arrival
-        for label, cost in zip(path, costs):
-            level = self.geometry.level_of(label)
-            start = max(t, self._level_done.get(level, 0))
+        level_done = self._level_done
+        # The path runs leaf (depth) to root (0), so the level of
+        # path[i] is simply depth - i — no label arithmetic needed.
+        level = self.geometry.depth
+        for cost in costs:
+            start = max(t, level_done.get(level, 0))
             t = start + cost
-            self._level_done[level] = t
+            level_done[level] = t
+            level -= 1
         return self._record(persist_id, arrival, t, len(path))
 
     def engine_busy_until(self) -> int:
@@ -177,7 +190,7 @@ class SGXPathScoreboard(SequentialScoreboard):
         self.path_persists = 0
 
     def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
-        path = self.geometry.update_path(leaf_index)
+        path = self.geometry.path_tuple(leaf_index)
         costs = self._level_costs(path)
         start = max(arrival, self._engine_free)
         persist_cost = len(path) * self.node_persist_cycles
@@ -191,7 +204,7 @@ class UnorderedScoreboard(ScoreboardBase):
     """Strawman: root ordering unenforced; stores never wait for the root."""
 
     def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
-        path = self.geometry.update_path(leaf_index)
+        path = self.geometry.path_tuple(leaf_index)
         self._level_costs(path)
         return self._record(persist_id, arrival, arrival, len(path))
 
@@ -262,7 +275,7 @@ class OutOfOrderScoreboard(ScoreboardBase):
         epoch_frontier = start_floor
         for persist_id, leaf_index in persists:
             start = self._admit_wpq(start_floor)
-            path = self.geometry.update_path(leaf_index)
+            path = self.geometry.path_tuple(leaf_index)
             costs = self._level_costs(path)
             first_issue = self._issue(start, len(path))
             path_done = first_issue + sum(costs)

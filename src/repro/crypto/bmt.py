@@ -18,6 +18,7 @@ Two views of the tree live here:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.crypto.keys import KeySchedule
@@ -55,6 +56,17 @@ class BMTGeometry:
         self._level_offsets = [
             (arity**level - 1) // (arity - 1) for level in range(self.levels + 1)
         ]
+        self._leaf_offset = self._level_offsets[self.depth]
+        # Label-arithmetic memo caches.  Geometries are immutable, so a
+        # leaf's update path / a label's ancestor chain / an LCA never
+        # change; the trace simulators hammer these on every persist and
+        # every verified load fill.  Hit/miss counters support the memo
+        # unit tests and the perf harness.
+        self._path_cache: Dict[int, Tuple[int, ...]] = {}
+        self._ancestor_cache: Dict[int, Tuple[int, ...]] = {}
+        self._lca_cache: Dict[Tuple[int, int], int] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     # ------------------------------------------------------------------
     # label <-> (level, index)
@@ -71,10 +83,7 @@ class BMTGeometry:
         """Level a label belongs to."""
         if label < 0 or label >= self._level_offsets[self.levels]:
             raise IndexError(f"label out of range: {label}")
-        level = 0
-        while self._level_offsets[level + 1] <= label:
-            level += 1
-        return level
+        return bisect_right(self._level_offsets, label, 1, self.levels) - 1
 
     def index_of(self, label: int) -> int:
         """Index of a label within its level."""
@@ -107,7 +116,7 @@ class BMTGeometry:
         """Label of the leaf-hash node covering counter block ``leaf_index``."""
         if not 0 <= leaf_index < self.num_leaves:
             raise IndexError(f"leaf index out of range: {leaf_index}")
-        return self._level_offsets[self.depth] + leaf_index
+        return self._leaf_offset + leaf_index
 
     def leaf_index(self, label: int) -> int:
         """Inverse of :meth:`leaf_label`."""
@@ -117,19 +126,42 @@ class BMTGeometry:
 
     def update_path(self, leaf_index: int) -> List[int]:
         """Labels from the leaf to the root inclusive (the BMT update path)."""
+        return list(self.path_tuple(leaf_index))
+
+    def path_tuple(self, leaf_index: int) -> Tuple[int, ...]:
+        """Memoized update path as an immutable tuple (hot-path variant).
+
+        The returned tuple is cached and shared; callers that need a
+        mutable copy should use :meth:`update_path`.
+        """
+        cached = self._path_cache.get(leaf_index)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
         label = self.leaf_label(leaf_index)
         path = [label]
-        while label != self.ROOT_LABEL:
-            label = self.parent(label)
+        arity = self.arity
+        while label:
+            label = (label - 1) // arity
             path.append(label)
-        return path
+        cached = tuple(path)
+        self._path_cache[leaf_index] = cached
+        return cached
 
     def ancestors(self, label: int) -> List[int]:
         """Labels strictly above ``label`` up to and including the root."""
+        cached = self._ancestor_cache.get(label)
+        if cached is not None:
+            self.memo_hits += 1
+            return list(cached)
+        self.memo_misses += 1
         out = []
-        while label != self.ROOT_LABEL:
-            label = self.parent(label)
-            out.append(label)
+        walk = label
+        while walk != self.ROOT_LABEL:
+            walk = self.parent(walk)
+            out.append(walk)
+        self._ancestor_cache[label] = tuple(out)
         return out
 
     def lca(self, label_a: int, label_b: int) -> int:
@@ -138,6 +170,12 @@ class BMTGeometry:
         Implements the paper's §V-C scheme: lift the deeper label until
         both are at the same level, then walk both up in lock-step.
         """
+        key = (label_a, label_b) if label_a <= label_b else (label_b, label_a)
+        cached = self._lca_cache.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
         level_a, level_b = self.level_of(label_a), self.level_of(label_b)
         while level_a > level_b:
             label_a = self.parent(label_a)
@@ -148,7 +186,18 @@ class BMTGeometry:
         while label_a != label_b:
             label_a = self.parent(label_a)
             label_b = self.parent(label_b)
+        self._lca_cache[key] = label_a
         return label_a
+
+    def memo_info(self) -> Dict[str, int]:
+        """Memo-cache statistics (see the perf harness / memo tests)."""
+        return {
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+            "paths": len(self._path_cache),
+            "ancestors": len(self._ancestor_cache),
+            "lcas": len(self._lca_cache),
+        }
 
     def lca_of_leaves(self, leaf_a: int, leaf_b: int) -> int:
         """LCA of the update paths of two counter-block leaves."""

@@ -3,23 +3,40 @@
 The cache operates on *block numbers* (byte address >> 6); the caller
 owns the address arithmetic.  Replacement is true LRU via per-set
 ordered dictionaries, which keeps lookups O(1).
+
+This sits on the simulator's hottest path (every load, store, and
+metadata touch lands here), so the implementation favours cheap
+arithmetic: the set array is preallocated, power-of-two set counts use
+a bitmask instead of a modulo, and the stats-counter increments are
+pre-bound methods.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.sim.stats import StatsRegistry
 
 
-@dataclass
 class CacheLine:
     """Residency metadata for one cached block."""
 
-    block: int
-    dirty: bool = False
+    __slots__ = ("block", "dirty")
+
+    def __init__(self, block: int, dirty: bool = False) -> None:
+        self.block = block
+        self.dirty = dirty
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, CacheLine)
+            and self.block == other.block
+            and self.dirty == other.dirty
+        )
+
+    def __repr__(self) -> str:
+        return f"CacheLine(block={self.block}, dirty={self.dirty})"
 
 
 class Cache:
@@ -54,20 +71,25 @@ class Cache:
         self.assoc = assoc
         self.num_sets = max(1, num_lines // assoc)
         self.write_through = write_through
-        self._sets: Dict[int, OrderedDict[int, CacheLine]] = {}
+        self._sets: List["OrderedDict[int, CacheLine]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        # Set counts are powers of two for every paper configuration;
+        # fall back to a modulo only for odd sweep values.
+        self._mask = self.num_sets - 1 if self.num_sets & (self.num_sets - 1) == 0 else None
         registry = stats if stats is not None else StatsRegistry()
         self._hits = registry.counter(f"{name}.hits")
         self._misses = registry.counter(f"{name}.misses")
         self._evictions = registry.counter(f"{name}.evictions")
         self._dirty_evictions = registry.counter(f"{name}.dirty_evictions")
 
-    def _set_for(self, block: int) -> OrderedDict[int, CacheLine]:
-        index = block % self.num_sets
-        lines = self._sets.get(index)
-        if lines is None:
-            lines = OrderedDict()
-            self._sets[index] = lines
-        return lines
+    def _set_index(self, block: int) -> int:
+        if self._mask is not None:
+            return block & self._mask
+        return block % self.num_sets
+
+    def _set_for(self, block: int) -> "OrderedDict[int, CacheLine]":
+        return self._sets[self._set_index(block)]
 
     def access(self, block: int, is_write: bool) -> Tuple[bool, Optional[CacheLine]]:
         """Look up a block, filling on miss.
@@ -80,28 +102,28 @@ class Cache:
             ``(hit, victim)`` where ``victim`` is the evicted line (with
             its dirty bit intact) or ``None``.
         """
-        lines = self._set_for(block)
+        mask = self._mask
+        lines = self._sets[block & mask if mask is not None else block % self.num_sets]
         line = lines.get(block)
         if line is not None:
             lines.move_to_end(block)
             if is_write and not self.write_through:
                 line.dirty = True
-            self._hits.add()
+            self._hits.value += 1
             return True, None
-        self._misses.add()
+        self._misses.value += 1
         victim = None
         if len(lines) >= self.assoc:
             _, victim = lines.popitem(last=False)
-            self._evictions.add()
+            self._evictions.value += 1
             if victim.dirty:
-                self._dirty_evictions.add()
-        new_line = CacheLine(block, dirty=is_write and not self.write_through)
-        lines[block] = new_line
+                self._dirty_evictions.value += 1
+        lines[block] = CacheLine(block, dirty=is_write and not self.write_through)
         return False, victim
 
     def probe(self, block: int) -> Optional[CacheLine]:
         """Check residency without updating LRU or filling."""
-        return self._sets.get(block % self.num_sets, {}).get(block)
+        return self._set_for(block).get(block)
 
     def fill(self, block: int, dirty: bool = False) -> Optional[CacheLine]:
         """Insert a block (e.g. a victim from the level above).
@@ -130,7 +152,7 @@ class Cache:
         Returns:
             ``True`` if the block was present and dirty.
         """
-        line = self.probe(block)
+        line = self._set_for(block).get(block)
         if line is not None and line.dirty:
             line.dirty = False
             return True
@@ -138,22 +160,19 @@ class Cache:
 
     def invalidate(self, block: int) -> Optional[CacheLine]:
         """Remove a block, returning its line if it was present."""
-        lines = self._sets.get(block % self.num_sets)
-        if lines is None:
-            return None
-        return lines.pop(block, None)
+        return self._set_for(block).pop(block, None)
 
     def dirty_blocks(self) -> List[int]:
         """All currently dirty block numbers (used by epoch flushes)."""
         out = []
-        for lines in self._sets.values():
+        for lines in self._sets:
             out.extend(line.block for line in lines.values() if line.dirty)
         return out
 
     def flush_all(self) -> List[int]:
         """Write back and clean every dirty line; returns their blocks."""
         flushed = []
-        for lines in self._sets.values():
+        for lines in self._sets:
             for line in lines.values():
                 if line.dirty:
                     line.dirty = False
@@ -161,11 +180,11 @@ class Cache:
         return flushed
 
     def __iter__(self) -> Iterator[CacheLine]:
-        for lines in self._sets.values():
+        for lines in self._sets:
             yield from lines.values()
 
     def __len__(self) -> int:
-        return sum(len(lines) for lines in self._sets.values())
+        return sum(len(lines) for lines in self._sets)
 
     def __repr__(self) -> str:
         return (

@@ -8,14 +8,12 @@ sequential BMT updates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.mem.cache import Cache
 from repro.sim.stats import StatsRegistry
 
 
-@dataclass
 class AccessResult:
     """Outcome of one hierarchy access.
 
@@ -24,12 +22,18 @@ class AccessResult:
         writebacks: Dirty blocks evicted from the LLC by this access.
     """
 
-    level: int
-    writebacks: List[int]
+    __slots__ = ("level", "writebacks")
+
+    def __init__(self, level: int, writebacks: List[int]) -> None:
+        self.level = level
+        self.writebacks = writebacks
 
     @property
     def memory_access(self) -> bool:
         return self.level == 0
+
+    def __repr__(self) -> str:
+        return f"AccessResult(level={self.level}, writebacks={self.writebacks})"
 
 
 class CacheHierarchy:
@@ -52,6 +56,8 @@ class CacheHierarchy:
         self.l2 = Cache("l2", l2_bytes, l2_assoc, write_through=write_through, stats=registry)
         self.l3 = Cache("l3", l3_bytes, l3_assoc, write_through=write_through, stats=registry)
 
+    _L1_HIT = AccessResult(level=1, writebacks=())
+
     def access(self, block: int, is_write: bool) -> AccessResult:
         """Perform a load or store.
 
@@ -65,13 +71,15 @@ class CacheHierarchy:
         Returns:
             An :class:`AccessResult`.
         """
-        writebacks: List[int] = []
-
         hit1, victim1 = self.l1.access(block, is_write)
+        if hit1:
+            # The overwhelmingly common case allocates nothing: L1 hits
+            # never produce a victim, so the result is a shared constant.
+            return self._L1_HIT
+
+        writebacks: List[int] = []
         if victim1 is not None and victim1.dirty:
             self._spill(self.l2, victim1.block, writebacks)
-        if hit1:
-            return AccessResult(level=1, writebacks=writebacks)
 
         hit2, victim2 = self.l2.access(block, is_write)
         if victim2 is not None and victim2.dirty:

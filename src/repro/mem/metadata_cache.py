@@ -59,6 +59,17 @@ class MetadataCaches:
         self.counter_cache = Cache("ctr", counter_bytes, assoc, stats=registry)
         self.mac_cache = Cache("mac", mac_bytes, assoc, stats=registry)
         self.bmt_cache = Cache("bmt", bmt_bytes, assoc, stats=registry)
+        # Hot-path bindings: both standard organizations (64 split / 8
+        # monolithic) are powers of two, so the counter map is a shift.
+        self._counter_shift = (
+            blocks_per_counter_block.bit_length() - 1
+            if blocks_per_counter_block & (blocks_per_counter_block - 1) == 0
+            else None
+        )
+        self._counter_access = self.counter_cache.access
+        self._mac_access = self.mac_cache.access
+        self._bmt_access = self.bmt_cache.access
+        self._bmt_arity = geometry.arity
 
     # ------------------------------------------------------------------
     # address maps
@@ -66,6 +77,8 @@ class MetadataCaches:
 
     def counter_block_of(self, data_block: int) -> int:
         """Counter block index covering a data block."""
+        if self._counter_shift is not None:
+            return data_block >> self._counter_shift
         return data_block // self.blocks_per_counter_block
 
     @staticmethod
@@ -91,14 +104,14 @@ class MetadataCaches:
         """Touch the counter block for a data access; returns hit."""
         if self.ideal:
             return True
-        hit, _ = self.counter_cache.access(self.counter_block_of(data_block), is_write)
+        hit, _ = self._counter_access(self.counter_block_of(data_block), is_write)
         return hit
 
     def access_mac(self, data_block: int, is_write: bool) -> bool:
         """Touch the MAC block for a data access; returns hit."""
         if self.ideal:
             return True
-        hit, _ = self.mac_cache.access(self.mac_block_of(data_block), is_write)
+        hit, _ = self._mac_access(data_block >> 3, is_write)
         return hit
 
     def access_bmt_node(self, label: int, is_write: bool) -> bool:
@@ -106,7 +119,7 @@ class MetadataCaches:
 
         The root is pinned on-chip and always hits.
         """
-        if self.ideal or label == self.geometry.ROOT_LABEL:
+        if self.ideal or label == 0:  # label 0 is the pinned root
             return True
-        hit, _ = self.bmt_cache.access(self.bmt_cache_block_of(label), is_write)
+        hit, _ = self._bmt_access((label - 1) // self._bmt_arity, is_write)
         return hit

@@ -72,11 +72,16 @@ class NVMModel:
 
     def _issue_on_channel(self, admit: int) -> int:
         """Place a transfer on the least-loaded channel."""
-        index = min(
-            range(len(self._channel_free)), key=self._channel_free.__getitem__
-        )
-        issue = max(admit, self._channel_free[index])
-        self._channel_free[index] = issue + self.config.burst_cycles
+        channels = self._channel_free
+        if len(channels) == 1:
+            # Table III models one channel; skip the arg-min entirely.
+            free = channels[0]
+            issue = admit if admit >= free else free
+            channels[0] = issue + self.config.burst_cycles
+            return issue
+        index = min(range(len(channels)), key=channels.__getitem__)
+        issue = max(admit, channels[index])
+        channels[index] = issue + self.config.burst_cycles
         return issue
 
     def read(self, now: int) -> int:
@@ -84,11 +89,11 @@ class NVMModel:
         cfg = self.config
         admit = self._queue_admit(self._read_completions, cfg.read_queue_size, now)
         if admit > now:
-            self._read_stalls.add(admit - now)
+            self._read_stalls.value += admit - now
         issue = self._issue_on_channel(admit)
         completion = issue + cfg.read_latency
         self._insert(self._read_completions, completion)
-        self._reads.add()
+        self._reads.value += 1
         return completion
 
     def write(self, now: int) -> int:
@@ -101,11 +106,11 @@ class NVMModel:
         cfg = self.config
         admit = self._queue_admit(self._write_completions, cfg.write_queue_size, now)
         if admit > now:
-            self._write_stalls.add(admit - now)
+            self._write_stalls.value += admit - now
         issue = self._issue_on_channel(admit)
         completion = issue + cfg.write_latency
         self._insert(self._write_completions, completion)
-        self._writes.add()
+        self._writes.value += 1
         return completion
 
     @staticmethod

@@ -12,18 +12,34 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Tuple
 
 
-@dataclass
 class Counter:
-    """A monotonically increasing event counter."""
+    """A monotonically increasing event counter.
 
-    name: str
-    value: int = 0
+    A slotted plain class (not a dataclass): counter increments are the
+    single most frequent operation in a simulation.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
 
     def add(self, n: int = 1) -> None:
         self.value += n
 
     def reset(self) -> None:
         self.value = 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Counter)
+            and self.name == other.name
+            and self.value == other.value
+        )
+
+    def __repr__(self) -> str:
+        return f"Counter(name={self.name!r}, value={self.value})"
 
 
 class Histogram:

@@ -1,0 +1,35 @@
+"""Parallel sweep infrastructure: job fan-out and result caching.
+
+See :mod:`repro.sweep.runner` for the process-pool runner and
+:mod:`repro.sweep.cache` for the content-addressed result cache.
+"""
+
+from repro.sweep.cache import (
+    ResultCache,
+    caching_disabled,
+    code_version,
+    config_digest,
+    job_key,
+)
+from repro.sweep.runner import (
+    SweepJob,
+    SweepReport,
+    cached_profile_trace,
+    default_workers,
+    run_jobs,
+    run_matrix,
+)
+
+__all__ = [
+    "ResultCache",
+    "SweepJob",
+    "SweepReport",
+    "cached_profile_trace",
+    "caching_disabled",
+    "code_version",
+    "config_digest",
+    "default_workers",
+    "job_key",
+    "run_jobs",
+    "run_matrix",
+]

@@ -1,0 +1,294 @@
+"""Parallel experiment runner for benchmark sweeps.
+
+Every paper artifact is an embarrassingly parallel sweep over
+``(benchmark, scheme, config overrides)`` triples; this module fans
+those jobs across a :class:`~concurrent.futures.ProcessPoolExecutor`
+and deduplicates work through the content-addressed
+:class:`~repro.sweep.cache.ResultCache`.
+
+Design points:
+
+* **Determinism.**  A job is executed by rebuilding its trace from
+  ``(benchmark, ki, seed)`` inside the worker and running a fresh
+  :class:`~repro.system.timing.TraceSimulator`; results are therefore
+  bit-identical to the sequential path regardless of worker count or
+  completion order (``tests/test_sweep_runner.py`` enforces this).
+* **No trace pickling.**  Only the small :class:`SweepJob` spec and
+  :class:`~repro.system.config.SystemConfig` cross the process
+  boundary; each worker keeps a bounded per-process trace cache.
+* **Fork start method.**  Workers inherit ``sys.path`` from the parent,
+  so the runner works from a source checkout without installation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.sweep.cache import ResultCache, caching_disabled, job_key
+from repro.system.config import SystemConfig
+from repro.system.timing import SimResult, TraceSimulator
+from repro.workloads.spec_profiles import SPEC_PROFILES, profile_trace
+
+TRACE_CACHE_CAP = 16
+"""Per-process bound on cached traces (a 25 KI trace is a few MB)."""
+
+_trace_cache: "OrderedDict[Tuple[str, int, int], Any]" = OrderedDict()
+
+
+def cached_profile_trace(name: str, kilo_instructions: int, seed: int = 2020):
+    """Bounded-LRU cached deterministic trace (safe per worker process)."""
+    key = (name, kilo_instructions, seed)
+    trace = _trace_cache.get(key)
+    if trace is not None:
+        _trace_cache.move_to_end(key)
+        return trace
+    trace = profile_trace(name, kilo_instructions, seed)
+    _trace_cache[key] = trace
+    if len(_trace_cache) > TRACE_CACHE_CAP:
+        _trace_cache.popitem(last=False)
+    return trace
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One simulation: a benchmark trace under a scheme and overrides.
+
+    ``overrides`` is a sorted tuple of ``(field, value)`` pairs so jobs
+    stay hashable and their cache keys stable.
+    """
+
+    benchmark: str
+    scheme: str
+    kilo_instructions: int = 25
+    seed: int = 2020
+    warmup_fraction: float = 0.2
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+    use_profile_ipc: bool = True
+
+    @classmethod
+    def make(
+        cls,
+        benchmark: str,
+        scheme: str,
+        kilo_instructions: int = 25,
+        seed: int = 2020,
+        warmup_fraction: float = 0.2,
+        use_profile_ipc: bool = True,
+        **overrides: Any,
+    ) -> "SweepJob":
+        scheme_name = scheme if isinstance(scheme, str) else scheme.value
+        return cls(
+            benchmark=benchmark,
+            scheme=scheme_name,
+            kilo_instructions=kilo_instructions,
+            seed=seed,
+            warmup_fraction=warmup_fraction,
+            overrides=tuple(sorted(overrides.items())),
+            use_profile_ipc=use_profile_ipc,
+        )
+
+    def resolved_config(self, base: Optional[SystemConfig] = None) -> SystemConfig:
+        """The full :class:`SystemConfig` this job simulates.
+
+        Mirrors ``benchmarks/common.py::run_scheme``: the profile's
+        calibrated core IPC applies unless explicitly overridden.
+        """
+        from repro.core.schemes import UpdateScheme
+
+        config = base if base is not None else SystemConfig()
+        changes = dict(self.overrides)
+        if self.use_profile_ipc:
+            changes.setdefault("core_ipc", SPEC_PROFILES[self.benchmark].core_ipc)
+        changes["scheme"] = UpdateScheme.from_name(self.scheme)
+        return config.variant(**changes)
+
+    def key(self, base: Optional[SystemConfig] = None) -> str:
+        return job_key(
+            self.benchmark,
+            self.kilo_instructions,
+            self.seed,
+            self.warmup_fraction,
+            self.resolved_config(base),
+        )
+
+
+@dataclass
+class SweepReport:
+    """Machine-readable summary of one :func:`run_jobs` invocation."""
+
+    jobs: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    @property
+    def jobs_per_second(self) -> float:
+        return self.jobs / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "jobs": self.jobs,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": self.cache_hit_rate,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "jobs_per_second": self.jobs_per_second,
+        }
+
+    def summary(self) -> str:
+        """One-line human summary for CLI output."""
+        return (
+            f"{self.jobs} jobs in {self.wall_seconds:.2f}s "
+            f"({self.jobs_per_second:.1f} jobs/s, {self.workers} worker"
+            f"{'s' if self.workers != 1 else ''}, "
+            f"{self.cache_hits} cache hit{'s' if self.cache_hits != 1 else ''})"
+        )
+
+
+def default_workers() -> int:
+    env = os.environ.get("PLP_SWEEP_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def _execute(job: SweepJob, config: SystemConfig) -> SimResult:
+    """Run one job in the current process (also the worker entry point)."""
+    trace = cached_profile_trace(job.benchmark, job.kilo_instructions, job.seed)
+    simulator = TraceSimulator(config)
+    return simulator.run(trace, warmup_fraction=job.warmup_fraction)
+
+
+def _mp_context():
+    # fork keeps sys.path (and warm module state) in workers; it is the
+    # Linux default and required for uninstalled source checkouts.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_jobs(
+    jobs: Sequence[SweepJob],
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, bool, None] = True,
+    base_config: Optional[SystemConfig] = None,
+) -> Tuple[List[SimResult], SweepReport]:
+    """Run a sweep, in parallel, through the result cache.
+
+    Args:
+        jobs: The sweep's jobs, in output order.
+        workers: Process count (``None``: ``PLP_SWEEP_JOBS`` or CPU
+            count; ``1`` runs inline with no pool).
+        cache: ``True`` for the default on-disk cache, ``False``/``None``
+            to disable, or a :class:`ResultCache`/path.  The
+            ``PLP_NO_RESULT_CACHE=1`` environment variable forces off.
+        base_config: Base :class:`SystemConfig` shared by every job.
+
+    Returns:
+        ``(results, report)`` with ``results[i]`` the outcome of
+        ``jobs[i]`` — bit-identical to running each job sequentially.
+    """
+    if workers is None:
+        workers = default_workers()
+    workers = max(1, workers)
+
+    result_cache: Optional[ResultCache] = None
+    if not caching_disabled():
+        if isinstance(cache, ResultCache):
+            result_cache = cache
+        elif cache is True:
+            result_cache = ResultCache()
+        elif isinstance(cache, (str, os.PathLike)):
+            result_cache = ResultCache(cache)
+
+    report = SweepReport(jobs=len(jobs), workers=workers)
+    start = time.perf_counter()
+
+    results: List[Optional[SimResult]] = [None] * len(jobs)
+    # Deduplicate identical jobs and resolve cache hits first.
+    pending: "OrderedDict[str, List[int]]" = OrderedDict()
+    pending_payload: Dict[str, Tuple[SweepJob, SystemConfig]] = {}
+    for index, job in enumerate(jobs):
+        config = job.resolved_config(base_config)
+        key = job.key(base_config)
+        if key in pending:
+            pending[key].append(index)
+            continue
+        if result_cache is not None:
+            cached = result_cache.get(key)
+            if cached is not None:
+                results[index] = cached
+                report.cache_hits += 1
+                continue
+            report.cache_misses += 1
+        pending[key] = [index]
+        pending_payload[key] = (job, config)
+
+    def _install(key: str, result: SimResult) -> None:
+        for index in pending[key]:
+            results[index] = result
+        if result_cache is not None:
+            result_cache.put(key, result)
+
+    if pending:
+        report.executed = len(pending)
+        if workers == 1 or len(pending) == 1:
+            for key, (job, config) in pending_payload.items():
+                _install(key, _execute(job, config))
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)), mp_context=_mp_context()
+            ) as pool:
+                futures = {
+                    key: pool.submit(_execute, job, config)
+                    for key, (job, config) in pending_payload.items()
+                }
+                for key, future in futures.items():
+                    _install(key, future.result())
+
+    report.wall_seconds = time.perf_counter() - start
+    if any(r is None for r in results):
+        missing = [i for i, r in enumerate(results) if r is None]
+        raise RuntimeError(f"sweep jobs {missing} produced no result")
+    return results, report
+
+
+def run_matrix(
+    benchmarks: Sequence[str],
+    schemes: Sequence[str],
+    kilo_instructions: int = 25,
+    seed: int = 2020,
+    workers: Optional[int] = None,
+    cache: Union[ResultCache, str, bool, None] = True,
+    base_config: Optional[SystemConfig] = None,
+    **overrides: Any,
+) -> Tuple[Dict[str, Dict[str, SimResult]], SweepReport]:
+    """Run a full ``benchmark x scheme`` grid.
+
+    Returns:
+        ``(results[benchmark][scheme], report)``.
+    """
+    jobs = [
+        SweepJob.make(name, scheme, kilo_instructions, seed, **overrides)
+        for name in benchmarks
+        for scheme in schemes
+    ]
+    flat, report = run_jobs(jobs, workers=workers, cache=cache, base_config=base_config)
+    grid: Dict[str, Dict[str, SimResult]] = {}
+    for job, result in zip(jobs, flat):
+        grid.setdefault(job.benchmark, {})[job.scheme] = result
+    return grid, report

@@ -16,6 +16,17 @@ GB = 1024 * MB
 BLOCK_BYTES = 64
 PAGE_BYTES = 4096
 
+_GEOMETRY_CACHE: dict = {}
+
+
+def _shared_geometry(num_leaves: int, arity: int, min_levels: int) -> BMTGeometry:
+    key = (num_leaves, arity, min_levels)
+    geometry = _GEOMETRY_CACHE.get(key)
+    if geometry is None:
+        geometry = BMTGeometry(num_leaves=num_leaves, arity=arity, min_levels=min_levels)
+        _GEOMETRY_CACHE[key] = geometry
+    return geometry
+
 
 @dataclass
 class SystemConfig:
@@ -103,11 +114,16 @@ class SystemConfig:
         return BLOCK_BYTES / (self.blocks_per_counter_block * BLOCK_BYTES)
 
     def geometry(self) -> BMTGeometry:
-        """The BMT over this memory's counter blocks."""
-        return BMTGeometry(
-            num_leaves=self.num_blocks // self.blocks_per_counter_block,
-            arity=self.bmt_arity,
-            min_levels=self.bmt_min_levels,
+        """The BMT over this memory's counter blocks.
+
+        Geometries are immutable, so identical shapes are shared
+        process-wide; sharing also shares the label-arithmetic memo
+        caches across every simulator in a sweep.
+        """
+        return _shared_geometry(
+            self.num_blocks // self.blocks_per_counter_block,
+            self.bmt_arity,
+            self.bmt_min_levels,
         )
 
     def with_scheme(self, scheme: UpdateScheme) -> "SystemConfig":

@@ -78,6 +78,8 @@ class _WriteCombiner:
     issuing a second NVM write.
     """
 
+    __slots__ = ("capacity", "_recent")
+
     def __init__(self, capacity: int = 16) -> None:
         self.capacity = capacity
         self._recent: "OrderedDict[Tuple[str, int], None]" = OrderedDict()
@@ -107,6 +109,35 @@ class _WindowSnapshot:
 
 class TraceSimulator:
     """Cycle-level model configured by a :class:`SystemConfig`."""
+
+    __slots__ = (
+        "config",
+        "scheme",
+        "geometry",
+        "stats",
+        "hierarchy",
+        "metadata",
+        "nvm",
+        "wpq_ring",
+        "scoreboard",
+        "epochs",
+        "_combiner",
+        "_num_leaves",
+        "_blocks_per_counter_block",
+        "_protect_stack",
+        "_write_through",
+        "_dirty_window",
+        "_dirty_window_capacity",
+        "_in_warmup",
+        "_now",
+        "_cpi",
+        "_next_persist_id",
+        "_persist_count",
+        "_last_completion",
+        "_wpq_stall",
+        "_load_stall",
+        "_flush_stall",
+    )
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
@@ -149,6 +180,9 @@ class TraceSimulator:
         )
         self._combiner = _WriteCombiner()
         self._num_leaves = self.geometry.num_leaves
+        self._blocks_per_counter_block = config.blocks_per_counter_block
+        self._protect_stack = config.protect_stack
+        self._write_through = self.scheme.write_through
         self._dirty_window: "OrderedDict[int, None]" = OrderedDict()
         self._dirty_window_capacity = 512
         self._in_warmup = False
@@ -187,22 +221,31 @@ class TraceSimulator:
         instructions = 0
         window = _WindowSnapshot()
         self._in_warmup = boundary > 0
+        # Local bindings: this loop dominates simulation wall-clock.
+        cpi = self._cpi
+        protect_stack = self._protect_stack
+        load = self._load
+        store = self._store
+        barrier = self._barrier
+        sfence = OpKind.SFENCE
+        load_kind = OpKind.LOAD
         for index, record in enumerate(records):
             if index == boundary:
                 self._in_warmup = False
                 window = self._snapshot(instructions)
-            if record.gap:
-                self._now += record.gap * self._cpi
-            instructions += record.gap + 1
-            if record.kind is OpKind.SFENCE:
-                self._barrier()
-            elif record.kind is OpKind.LOAD:
-                self._now += self._cpi
-                self._load(record.block)
+            gap = record.gap
+            if gap:
+                self._now += gap * cpi
+            instructions += gap + 1
+            kind = record.kind
+            if kind is sfence:
+                barrier()
+            elif kind is load_kind:
+                self._now += cpi
+                load(record.address >> 6)
             else:
-                self._now += self._cpi
-                persistent = record.persistent or self.config.protect_stack
-                self._store(record.block, persistent)
+                self._now += cpi
+                store(record.address >> 6, record.persistent or protect_stack)
         self._drain()
         end_cycle = max(self._now, float(self._last_completion))
         cycles = int(end_cycle - window.cycles)
@@ -246,8 +289,9 @@ class TraceSimulator:
         # The fill is integrity-verified up the BMT; verification is
         # overlapped with use (§VI) so it adds no latency, but its node
         # reads occupy — and pollute — the BMT cache.
-        for label in self.geometry.update_path(self._leaf_of(block)):
-            if self.metadata.access_bmt_node(label, is_write=False):
+        access_bmt = self.metadata.access_bmt_node
+        for label in self.geometry.path_tuple(self._leaf_of(block)):
+            if access_bmt(label, is_write=False):
                 break  # verification stops at the first trusted cached node
         # The fill's demand verification queues behind in-flight BMT
         # updates (bounded: demand requests are prioritized after at most
@@ -274,13 +318,13 @@ class TraceSimulator:
             stall = (done - now) / self.config.load_mlp
             self._load_stall.add(int(stall))
             self._now += stall
-        if not self.scheme.write_through:
+        if not self._write_through:
             self._track_dirty(block)
         if not persistent:
             return
         if self.scheme is UpdateScheme.SECURE_WB:
             return  # persists happen on natural write-backs
-        if self.scheme.uses_epochs:
+        if self.epochs is not None:  # epoch persistency (o3 / coalescing)
             closed = self.epochs.record_store(block)
             if closed is not None:
                 self._flush_epoch(closed)
@@ -338,7 +382,7 @@ class TraceSimulator:
         """Map a block's counter block to a BMT leaf (folding large
         traces into the configured memory size)."""
         return (
-            block // self.config.blocks_per_counter_block
+            block // self._blocks_per_counter_block
         ) % self._num_leaves
 
     def _tuple_writes(self, block: int, when: int) -> None:
