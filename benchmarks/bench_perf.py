@@ -1,7 +1,15 @@
 """Perf-regression harness for the sweep runner and simulator hot path.
 
-Runs the same ``benchmark x scheme`` sweep three ways and times each
-stage:
+First times the trace layer on the sweep's benchmarks:
+
+1. ``trace_generate`` — the synthetic generator, run fresh for every
+   trace (the only path the seed implementation had).
+2. ``trace_cache_cold`` — a fresh on-disk trace cache: generate each
+   trace once and store it as a packed binary artifact.
+3. ``trace_cache_warm`` — the same traces again; every one should load
+   as packed bytes with no generator run.
+
+Then runs the same ``benchmark x scheme`` sweep three ways:
 
 1. ``sequential`` — one process, result cache disabled (the plain
    in-process path every artifact used before the runner existed).
@@ -38,7 +46,8 @@ import tempfile
 import time
 from pathlib import Path
 
-from repro.sweep import SweepJob, code_version, run_jobs
+from repro.sweep import SweepJob, TraceCache, code_version, generator_version, run_jobs
+from repro.workloads.spec_profiles import profile_trace
 
 from common import RESULTS_DIR, SUBSET, TRACE_KI
 
@@ -61,6 +70,67 @@ def build_jobs(quick: bool):
     ]
     matrix = {"benchmarks": benchmarks, "schemes": schemes, "kilo_instructions": ki}
     return jobs, matrix
+
+
+def run_trace_stages(benchmarks, ki: int, cache_root: Path) -> list:
+    """Time the trace layer: generator vs cold vs warm packed-trace cache."""
+    stages = []
+
+    start = time.perf_counter()
+    generated = [profile_trace(name, ki) for name in benchmarks]
+    generate_wall = time.perf_counter() - start
+    stages.append(
+        {
+            "name": "trace_generate",
+            "traces": len(generated),
+            "records": sum(len(t) for t in generated),
+            "wall_seconds": round(generate_wall, 6),
+        }
+    )
+
+    cache = TraceCache(cache_root)
+    start = time.perf_counter()
+    cold = [cache.load_or_generate(name, ki) for name in benchmarks]
+    cold_wall = time.perf_counter() - start
+    stages.append(
+        {
+            "name": "trace_cache_cold",
+            "traces": len(cold),
+            "records": sum(len(t) for t in cold),
+            "wall_seconds": round(cold_wall, 6),
+            **cache.stats(),
+        }
+    )
+
+    warm_cache = TraceCache(cache_root)
+    start = time.perf_counter()
+    warm = [warm_cache.load_or_generate(name, ki) for name in benchmarks]
+    warm_wall = time.perf_counter() - start
+    stages.append(
+        {
+            "name": "trace_cache_warm",
+            "traces": len(warm),
+            "records": sum(len(t) for t in warm),
+            "wall_seconds": round(warm_wall, 6),
+            **warm_cache.stats(),
+        }
+    )
+
+    if warm_cache.hits != len(benchmarks):
+        print("FAIL: warm trace cache missed", file=sys.stderr)
+        raise SystemExit(1)
+    for loaded, fresh in zip(warm, generated):
+        if loaded.records != fresh.records or loaded.name != fresh.name:
+            print("FAIL: cached trace diverged from the generator", file=sys.stderr)
+            raise SystemExit(1)
+
+    for stage in stages:
+        stage["speedup_vs_generate"] = (
+            round(generate_wall / stage["wall_seconds"], 3)
+            if stage["wall_seconds"] > 0
+            else None
+        )
+    return stages
 
 
 def run_stage(name: str, jobs, workers: int, cache) -> dict:
@@ -108,6 +178,20 @@ def main(argv=None) -> int:
 
     stages = []
     with tempfile.TemporaryDirectory(prefix="plp-bench-perf-") as cache_dir:
+        # Point the runner's trace cache at a bench-local directory so the
+        # stages below are hermetic and the sweep workers load the packed
+        # traces the trace stages just wrote.
+        trace_cache_dir = Path(cache_dir) / "traces"
+        os.environ["PLP_TRACE_CACHE"] = str(trace_cache_dir)
+        trace_stages = run_trace_stages(
+            matrix["benchmarks"], matrix["kilo_instructions"], trace_cache_dir
+        )
+        for stage in trace_stages:
+            print(
+                f"  {stage['name']:16s} {stage['wall_seconds']:8.3f}s  "
+                f"{stage['speedup_vs_generate']:>8}x vs generator  "
+                f"({stage['traces']} traces, {stage['records']:,} records)"
+            )
         seq_stage, seq_results = run_stage("sequential", jobs, workers=1, cache=False)
         stages.append((seq_stage, seq_results))
         cold_stage, cold_results = run_stage(
@@ -136,6 +220,7 @@ def main(argv=None) -> int:
         "jobs_flag": args.jobs,
         "matrix": matrix,
         "code_version": code_version(),
+        "generator_version": generator_version(),
         "python": platform.python_version(),
         "cpu_count": os.cpu_count(),
         "determinism": {
@@ -143,6 +228,7 @@ def main(argv=None) -> int:
             "compared_stages": [stage["name"] for stage, _ in stages[1:]],
             "identical": True,
         },
+        "trace_stages": trace_stages,
         "stages": [],
     }
     for stage, _ in stages:

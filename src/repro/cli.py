@@ -6,6 +6,7 @@ Examples::
     plp-repro run gamess --schemes secure_wb,sp,coalescing --ki 20
     plp-repro sweep --benchmark gcc --scheme coalescing \\
         --param epoch_size --values 4,8,16,32,64,128,256
+    plp-repro trace gcc --ki 25 --out gcc.trace
     plp-repro crash --drop mac
     plp-repro rebuild-time --pages 4096
 
@@ -131,6 +132,40 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Export a benchmark trace as a packed binary (or text) artifact."""
+    from repro.sweep import cached_profile_trace
+    from repro.workloads.trace import OpKind
+
+    if args.benchmark not in SPEC_PROFILES:
+        print(f"unknown benchmark {args.benchmark!r}; see `plp-repro list`", file=sys.stderr)
+        return 2
+    trace = cached_profile_trace(args.benchmark, args.ki, args.seed)
+    if args.out is not None:
+        if args.format == "binary":
+            trace.save_binary(args.out)
+        else:
+            trace.save(args.out)
+        import os as _os
+
+        size = _os.path.getsize(args.out)
+        print(f"wrote {args.out} ({args.format}, {size:,} bytes)")
+    table = Table(
+        f"trace {trace.name} ({args.ki} KI, seed {args.seed})",
+        ["metric", "value"],
+    )
+    table.add_row("records", f"{len(trace):,}")
+    table.add_row("instructions", f"{trace.instruction_count:,}")
+    table.add_row("loads", f"{trace.count(OpKind.LOAD):,}")
+    table.add_row("stores", f"{trace.count(OpKind.STORE):,}")
+    table.add_row("persistent stores", f"{trace.count(OpKind.STORE, persistent_only=True):,}")
+    table.add_row("sfences", f"{trace.count(OpKind.SFENCE):,}")
+    table.add_row("touched blocks", f"{trace.touched_blocks():,}")
+    table.add_row("stores/KI", f"{trace.stores_per_kilo_instruction():.2f}")
+    print(table)
+    return 0
+
+
 def cmd_crash(args: argparse.Namespace) -> int:
     item = _DROP_ITEMS[args.drop]
     mem = FunctionalSecureMemory(num_pages=64, atomic_tuples=args.atomic)
@@ -240,6 +275,21 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=1, help="worker processes for the sweep")
     sweep.add_argument("--no-cache", action="store_true", help="bypass the on-disk result cache")
     sweep.set_defaults(func=cmd_sweep)
+
+    trace = sub.add_parser(
+        "trace", help="export or inspect a benchmark trace (packed binary or text)"
+    )
+    trace.add_argument("benchmark", help="Table V benchmark name")
+    trace.add_argument("--ki", type=int, default=25, help="trace length in kilo-instructions")
+    trace.add_argument("--seed", type=int, default=2020)
+    trace.add_argument("--out", default=None, help="write the trace to this path")
+    trace.add_argument(
+        "--format",
+        choices=["binary", "text"],
+        default="binary",
+        help="serialization for --out (default: packed binary)",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     crash = sub.add_parser("crash", help="crash-injection demo (Table I rows)")
     crash.add_argument("--drop", choices=sorted(_DROP_ITEMS), default="mac")

@@ -1,7 +1,8 @@
-"""Parallel sweep infrastructure: job fan-out and result caching.
+"""Parallel sweep infrastructure: job fan-out, result and trace caching.
 
-See :mod:`repro.sweep.runner` for the process-pool runner and
-:mod:`repro.sweep.cache` for the content-addressed result cache.
+See :mod:`repro.sweep.runner` for the process-pool runner,
+:mod:`repro.sweep.cache` for the content-addressed result cache, and
+:mod:`repro.sweep.trace_cache` for the packed binary trace cache.
 """
 
 from repro.sweep.cache import (
@@ -10,6 +11,12 @@ from repro.sweep.cache import (
     code_version,
     config_digest,
     job_key,
+)
+from repro.sweep.trace_cache import (
+    TraceCache,
+    generator_version,
+    trace_caching_disabled,
+    trace_key,
 )
 from repro.sweep.runner import (
     SweepJob,
@@ -24,12 +31,16 @@ __all__ = [
     "ResultCache",
     "SweepJob",
     "SweepReport",
+    "TraceCache",
     "cached_profile_trace",
     "caching_disabled",
     "code_version",
     "config_digest",
     "default_workers",
+    "generator_version",
     "job_key",
     "run_jobs",
     "run_matrix",
+    "trace_caching_disabled",
+    "trace_key",
 ]

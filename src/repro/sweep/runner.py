@@ -31,24 +31,52 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.sweep.cache import ResultCache, caching_disabled, job_key
+from repro.sweep.trace_cache import (
+    TraceCache,
+    default_trace_cache_root,
+    trace_caching_disabled,
+)
 from repro.system.config import SystemConfig
 from repro.system.timing import SimResult, TraceSimulator
 from repro.workloads.spec_profiles import SPEC_PROFILES, profile_trace
 
 TRACE_CACHE_CAP = 16
-"""Per-process bound on cached traces (a 25 KI trace is a few MB)."""
+"""Per-process bound on in-memory cached traces (packed columns, a few
+hundred KB per 25 KI trace)."""
 
 _trace_cache: "OrderedDict[Tuple[str, int, int], Any]" = OrderedDict()
+_disk_trace_cache: Optional[TraceCache] = None
+
+
+def _disk_traces() -> Optional[TraceCache]:
+    global _disk_trace_cache
+    if trace_caching_disabled():
+        return None
+    root = default_trace_cache_root()
+    if _disk_trace_cache is None or _disk_trace_cache.root != root:
+        _disk_trace_cache = TraceCache(root)
+    return _disk_trace_cache
 
 
 def cached_profile_trace(name: str, kilo_instructions: int, seed: int = 2020):
-    """Bounded-LRU cached deterministic trace (safe per worker process)."""
+    """Bounded-LRU cached deterministic trace (safe per worker process).
+
+    Misses fall through to the content-addressed on-disk
+    :class:`~repro.sweep.trace_cache.TraceCache`, so across processes
+    each trace is generated once and thereafter loaded as packed bytes;
+    the generator only runs on a completely cold cache (or with
+    ``PLP_NO_TRACE_CACHE=1``).
+    """
     key = (name, kilo_instructions, seed)
     trace = _trace_cache.get(key)
     if trace is not None:
         _trace_cache.move_to_end(key)
         return trace
-    trace = profile_trace(name, kilo_instructions, seed)
+    disk = _disk_traces()
+    if disk is not None:
+        trace = disk.load_or_generate(name, kilo_instructions, seed)
+    else:
+        trace = profile_trace(name, kilo_instructions, seed)
     _trace_cache[key] = trace
     if len(_trace_cache) > TRACE_CACHE_CAP:
         _trace_cache.popitem(last=False)

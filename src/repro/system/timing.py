@@ -36,7 +36,7 @@ from repro.mem.nvm import NVMModel
 from repro.persistency.epochs import Epoch, EpochTracker
 from repro.sim.stats import StatsRegistry
 from repro.system.config import SystemConfig
-from repro.workloads.trace import MemoryTrace, OpKind
+from repro.workloads.trace import KIND_LOAD, KIND_SFENCE, MemoryTrace
 
 
 @dataclass
@@ -216,36 +216,40 @@ class TraceSimulator:
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
-        records = trace.records
-        boundary = int(len(records) * warmup_fraction)
+        boundary = int(len(trace) * warmup_fraction)
         instructions = 0
         window = _WindowSnapshot()
         self._in_warmup = boundary > 0
-        # Local bindings: this loop dominates simulation wall-clock.
+        # Local bindings: this loop dominates simulation wall-clock.  It
+        # walks the trace's packed columns directly — integer kind codes
+        # and primitive array values, no per-record object and no enum
+        # identity checks.
         cpi = self._cpi
         protect_stack = self._protect_stack
         load = self._load
         store = self._store
         barrier = self._barrier
-        sfence = OpKind.SFENCE
-        load_kind = OpKind.LOAD
-        for index, record in enumerate(records):
+        sfence = KIND_SFENCE
+        load_kind = KIND_LOAD
+        index = 0
+        for kind, address, gap, persistent in zip(
+            trace.kind_codes, trace.addresses, trace.gaps, trace.persistent_flags
+        ):
             if index == boundary:
                 self._in_warmup = False
                 window = self._snapshot(instructions)
-            gap = record.gap
+            index += 1
             if gap:
                 self._now += gap * cpi
             instructions += gap + 1
-            kind = record.kind
-            if kind is sfence:
+            if kind == sfence:
                 barrier()
-            elif kind is load_kind:
+            elif kind == load_kind:
                 self._now += cpi
-                load(record.address >> 6)
+                load(address >> 6)
             else:
                 self._now += cpi
-                store(record.address >> 6, record.persistent or protect_stack)
+                store(address >> 6, persistent or protect_stack)
         self._drain()
         end_cycle = max(self._now, float(self._last_completion))
         cycles = int(end_cycle - window.cycles)

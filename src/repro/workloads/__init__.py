@@ -8,7 +8,15 @@ ratio (which determines the o3 persist collapse), the LLC write-back
 rate, and spatial locality (which determines coalescing's win).
 """
 
-from repro.workloads.trace import MemoryTrace, TraceRecord, OpKind
+from repro.workloads.trace import (
+    KIND_LOAD,
+    KIND_SFENCE,
+    KIND_STORE,
+    MemoryTrace,
+    OpKind,
+    TraceFormatError,
+    TraceRecord,
+)
 from repro.workloads.synthetic import (
     SyntheticSpec,
     generate_trace,
@@ -22,7 +30,11 @@ from repro.workloads.synthetic import (
 from repro.workloads.spec_profiles import SpecProfile, SPEC_PROFILES, profile_trace
 
 __all__ = [
+    "KIND_LOAD",
+    "KIND_SFENCE",
+    "KIND_STORE",
     "MemoryTrace",
+    "TraceFormatError",
     "TraceRecord",
     "OpKind",
     "SyntheticSpec",

@@ -22,7 +22,12 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.workloads.trace import MemoryTrace, OpKind, TraceRecord
+from repro.workloads.trace import (
+    KIND_LOAD,
+    KIND_SFENCE,
+    KIND_STORE,
+    MemoryTrace,
+)
 
 BLOCK = 64
 PAGE_BLOCKS = 64
@@ -182,20 +187,17 @@ def generate_trace(spec: SyntheticSpec) -> MemoryTrace:
     ops: List[bool] = [True] * stores + [False] * loads  # True = store
     rng.shuffle(ops)
 
+    append_op = trace.append_op
     for index, is_store in enumerate(ops):
         gap = base_gap + (1 if index < remainder else 0)
         if is_store:
             if rng.random() < spec.stack_store_fraction:
                 stack_cursor = (stack_cursor + 1) % STACK_BLOCKS
                 address = STACK_BASE + stack_cursor * BLOCK
-                trace.append(
-                    TraceRecord(OpKind.STORE, address, gap, persistent=False)
-                )
+                append_op(KIND_STORE, address, gap, 0)
             else:
                 block = store_stream.next_block()
-                trace.append(
-                    TraceRecord(OpKind.STORE, block * BLOCK, gap, persistent=True)
-                )
+                append_op(KIND_STORE, block * BLOCK, gap, 1)
         else:
             pool = store_stream.recent_blocks()
             if pool and rng.random() < spec.load_reuse_fraction:
@@ -204,9 +206,7 @@ def generate_trace(spec: SyntheticSpec) -> MemoryTrace:
                 # One-touch streaming read: always a fresh block.
                 block = load_frontier
                 load_frontier += 1
-            trace.append(
-                TraceRecord(OpKind.LOAD, block * BLOCK, gap, persistent=True)
-            )
+            append_op(KIND_LOAD, block * BLOCK, gap, 1)
     return trace
 
 
@@ -220,8 +220,9 @@ def sequential_stream(
 ) -> MemoryTrace:
     """Stores marching sequentially through memory (streaming write)."""
     trace = MemoryTrace(name="sequential")
+    append_op = trace.append_op
     for i in range(num_stores):
-        trace.append(TraceRecord(OpKind.STORE, start + i * BLOCK, gap))
+        append_op(KIND_STORE, start + i * BLOCK, gap)
     return trace
 
 
@@ -230,10 +231,9 @@ def strided_stream(
 ) -> MemoryTrace:
     """Stores with a fixed block stride (e.g. column-major sweeps)."""
     trace = MemoryTrace(name=f"stride{stride_blocks}")
+    append_op = trace.append_op
     for i in range(num_stores):
-        trace.append(
-            TraceRecord(OpKind.STORE, start + i * stride_blocks * BLOCK, gap)
-        )
+        append_op(KIND_STORE, start + i * stride_blocks * BLOCK, gap)
     return trace
 
 
@@ -243,9 +243,10 @@ def uniform_random(
     """Uniformly random stores over a span (worst case for coalescing)."""
     rng = random.Random(seed)
     trace = MemoryTrace(name="uniform")
+    append_op = trace.append_op
     for _ in range(num_stores):
         block = rng.randrange(span_blocks)
-        trace.append(TraceRecord(OpKind.STORE, start + block * BLOCK, gap))
+        append_op(KIND_STORE, start + block * BLOCK, gap)
     return trace
 
 
@@ -278,7 +279,7 @@ def zipfian(
                 lo = mid + 1
             else:
                 hi = mid
-        trace.append(TraceRecord(OpKind.STORE, start + lo * BLOCK, gap))
+        trace.append_op(KIND_STORE, start + lo * BLOCK, gap)
     return trace
 
 
@@ -291,9 +292,10 @@ def pointer_chase(
     rng.shuffle(order)
     trace = MemoryTrace(name="pointer_chase")
     position = 0
+    append_op = trace.append_op
     for _ in range(num_loads):
         position = order[position % span_blocks]
-        trace.append(TraceRecord(OpKind.LOAD, start + position * BLOCK, gap))
+        append_op(KIND_LOAD, start + position * BLOCK, gap)
     return trace
 
 
@@ -316,16 +318,15 @@ def kvstore_trace(
     rng = random.Random(seed)
     trace = MemoryTrace(name="kvstore")
     log_cursor = 0
+    append_op = trace.append_op
     for _ in range(num_ops):
         key = rng.randrange(num_keys)
         slot_addr = table_base + key * BLOCK
         if rng.random() < put_fraction:
-            trace.append(
-                TraceRecord(OpKind.STORE, log_base + log_cursor * BLOCK, gap)
-            )
+            append_op(KIND_STORE, log_base + log_cursor * BLOCK, gap)
             log_cursor += 1
-            trace.append(TraceRecord(OpKind.STORE, slot_addr, 2))
-            trace.append(TraceRecord(OpKind.SFENCE))
+            append_op(KIND_STORE, slot_addr, 2)
+            append_op(KIND_SFENCE)
         else:
-            trace.append(TraceRecord(OpKind.LOAD, slot_addr, gap))
+            append_op(KIND_LOAD, slot_addr, gap)
     return trace

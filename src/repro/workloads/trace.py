@@ -5,17 +5,45 @@ non-memory instructions preceding each (``gap``), whether the access
 targets the persistent region, and explicit epoch barriers (``SFENCE``)
 where the workload encodes them.  Addresses are byte addresses; block
 and page arithmetic uses 64 B blocks and 4 KB pages throughout.
+
+Storage is **columnar**: a :class:`MemoryTrace` packs its records into
+four parallel primitive arrays (kind codes, addresses, gaps, persistent
+flags) instead of a list of per-record objects.  A million-record trace
+is four contiguous buffers (~14 B/record) rather than a million boxed
+dataclasses, and the simulator hot loop iterates the columns directly
+with integer kind codes.  :class:`TraceRecord` and the ``records``
+sequence remain as a thin compatibility view for callers that want
+object-per-record semantics.
+
+Two interchangeable serializations are provided:
+
+* a human-readable **text format** (one ``K address gap persistent``
+  line per record, ``# trace <name>`` header) via :meth:`MemoryTrace.save`
+  / :meth:`MemoryTrace.load`, and
+* a versioned **binary format** (:data:`TRACE_MAGIC` header followed by
+  the raw column bytes, written with ``array.tofile``) via
+  :meth:`MemoryTrace.save_binary` / :meth:`MemoryTrace.load_binary` —
+  the packed artifact the sweep trace cache stores and memory-maps
+  loads from.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+import struct
+import sys
+from array import array
 from pathlib import Path
-from typing import Iterable, Iterator, List, Optional, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union, overload
 
 BLOCK_SHIFT = 6
 PAGE_SHIFT = 12
+
+# Integer kind codes used in the packed kind column (and by the
+# simulator hot loop, which never touches the OpKind enum).
+KIND_LOAD = 0
+KIND_STORE = 1
+KIND_SFENCE = 2
 
 
 class OpKind(enum.Enum):
@@ -25,10 +53,20 @@ class OpKind(enum.Enum):
     STORE = "S"
     SFENCE = "F"
 
+    @property
+    def code(self) -> int:
+        """The packed integer code stored in the kind column."""
+        return _KIND_TO_CODE[self]
 
-@dataclass(frozen=True)
+
+_KIND_TO_CODE = {OpKind.LOAD: KIND_LOAD, OpKind.STORE: KIND_STORE, OpKind.SFENCE: KIND_SFENCE}
+_CODE_TO_KIND = {code: kind for kind, code in _KIND_TO_CODE.items()}
+_VALUE_TO_CODE = {kind.value: code for kind, code in _KIND_TO_CODE.items()}
+_CODE_TO_VALUE = {code: kind.value for kind, code in _KIND_TO_CODE.items()}
+
+
 class TraceRecord:
-    """One trace entry.
+    """One trace entry (compatibility view over the packed columns).
 
     Attributes:
         kind: Load, store, or persist barrier.
@@ -38,10 +76,41 @@ class TraceRecord:
             (stack accesses are ``False`` under the paper's default).
     """
 
-    kind: OpKind
-    address: int = 0
-    gap: int = 0
-    persistent: bool = True
+    __slots__ = ("kind", "address", "gap", "persistent")
+
+    def __init__(
+        self,
+        kind: OpKind,
+        address: int = 0,
+        gap: int = 0,
+        persistent: bool = True,
+    ) -> None:
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "address", address)
+        object.__setattr__(self, "gap", gap)
+        object.__setattr__(self, "persistent", persistent)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"TraceRecord is immutable; cannot set {name!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecord(kind={self.kind!r}, address={self.address!r}, "
+            f"gap={self.gap!r}, persistent={self.persistent!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (
+            self.kind is other.kind
+            and self.address == other.address
+            and self.gap == other.gap
+            and self.persistent == other.persistent
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.address, self.gap, self.persistent))
 
     @property
     def block(self) -> int:
@@ -52,37 +121,200 @@ class TraceRecord:
         return self.address >> PAGE_SHIFT
 
 
+class _RecordsView(Sequence):
+    """Read-only sequence of :class:`TraceRecord` over a trace's columns.
+
+    Records are materialized on demand; two views over equal columns
+    compare equal without building any record objects.
+    """
+
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace: "MemoryTrace") -> None:
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return len(self._trace.kind_codes)
+
+    @overload
+    def __getitem__(self, index: int) -> TraceRecord: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[TraceRecord]: ...
+
+    def __getitem__(self, index):
+        trace = self._trace
+        if isinstance(index, slice):
+            rng = range(*index.indices(len(self)))
+            return [trace.record_at(i) for i in rng]
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("trace record index out of range")
+        return trace.record_at(index)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._trace)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _RecordsView):
+            a, b = self._trace, other._trace
+            return (
+                a.kind_codes == b.kind_codes
+                and a.addresses == b.addresses
+                and a.gaps == b.gaps
+                and a.persistent_flags == b.persistent_flags
+            )
+        if isinstance(other, (list, tuple)):
+            return len(self) == len(other) and all(
+                mine == theirs for mine, theirs in zip(self, other)
+            )
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __repr__(self) -> str:
+        return f"<records view of {self._trace!r}>"
+
+
+# Binary trace format: little-endian header followed by the raw bytes
+# of the four columns in declaration order.
+TRACE_MAGIC = b"PLPTRACE"
+TRACE_FORMAT_VERSION = 1
+_HEADER = struct.Struct("<8sHHIQ")  # magic, version, reserved, name length, record count
+_BIG_ENDIAN = sys.byteorder == "big"
+
+
+class TraceFormatError(ValueError):
+    """Raised when binary trace bytes fail header or size validation."""
+
+
 class MemoryTrace:
-    """An in-memory trace with summary statistics and (de)serialization."""
+    """A columnar in-memory trace with summary statistics and (de)serialization.
+
+    The four public column attributes (``kind_codes``, ``addresses``,
+    ``gaps``, ``persistent_flags``) are parallel ``array`` instances of
+    equal length; hot paths iterate them directly.  ``records`` exposes
+    the classic record-object view.
+    """
+
+    __slots__ = (
+        "name",
+        "kind_codes",
+        "addresses",
+        "gaps",
+        "persistent_flags",
+        "_stat_cache",
+    )
 
     def __init__(self, records: Optional[Iterable[TraceRecord]] = None, name: str = "trace") -> None:
         self.name = name
-        self.records: List[TraceRecord] = list(records) if records is not None else []
-
-    def append(self, record: TraceRecord) -> None:
-        self.records.append(record)
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    def __iter__(self) -> Iterator[TraceRecord]:
-        return iter(self.records)
+        self.kind_codes = array("B")
+        self.addresses = array("Q")
+        self.gaps = array("I")
+        self.persistent_flags = array("B")
+        self._stat_cache: dict = {}
+        if records is not None:
+            for record in records:
+                self.append(record)
 
     # ------------------------------------------------------------------
-    # statistics
+    # mutation
+    # ------------------------------------------------------------------
+
+    def append(self, record: TraceRecord) -> None:
+        self.append_op(
+            _KIND_TO_CODE[record.kind],
+            record.address,
+            record.gap,
+            1 if record.persistent else 0,
+        )
+
+    def append_op(self, code: int, address: int = 0, gap: int = 0, persistent: int = 1) -> None:
+        """Append one packed record (fast path for generators)."""
+        self.kind_codes.append(code)
+        self.addresses.append(address)
+        self.gaps.append(gap)
+        self.persistent_flags.append(persistent)
+        if self._stat_cache:
+            self._stat_cache.clear()
+
+    # ------------------------------------------------------------------
+    # record view
+    # ------------------------------------------------------------------
+
+    def record_at(self, index: int) -> TraceRecord:
+        """Materialize one :class:`TraceRecord` from the columns."""
+        return TraceRecord(
+            kind=_CODE_TO_KIND[self.kind_codes[index]],
+            address=self.addresses[index],
+            gap=self.gaps[index],
+            persistent=bool(self.persistent_flags[index]),
+        )
+
+    @property
+    def records(self) -> _RecordsView:
+        return _RecordsView(self)
+
+    @records.setter
+    def records(self, value: Iterable[TraceRecord]) -> None:
+        """Repack the columns from an iterable of records."""
+        if isinstance(value, _RecordsView) and value._trace is self:
+            return
+        records = list(value)
+        self.kind_codes = array("B")
+        self.addresses = array("Q")
+        self.gaps = array("I")
+        self.persistent_flags = array("B")
+        self._stat_cache = {}
+        for record in records:
+            self.append(record)
+
+    def __len__(self) -> int:
+        return len(self.kind_codes)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        code_to_kind = _CODE_TO_KIND
+        for code, address, gap, persistent in zip(
+            self.kind_codes, self.addresses, self.gaps, self.persistent_flags
+        ):
+            yield TraceRecord(code_to_kind[code], address, gap, bool(persistent))
+
+    def __repr__(self) -> str:
+        return f"MemoryTrace(name={self.name!r}, records={len(self)})"
+
+    # ------------------------------------------------------------------
+    # statistics (cached; invalidated by append / records assignment)
     # ------------------------------------------------------------------
 
     @property
     def instruction_count(self) -> int:
         """Total instructions: every record (sfence included) plus gaps."""
-        return len(self.records) + sum(r.gap for r in self.records)
+        cached = self._stat_cache.get("instructions")
+        if cached is None:
+            cached = len(self.kind_codes) + sum(self.gaps)
+            self._stat_cache["instructions"] = cached
+        return cached
 
     def count(self, kind: OpKind, persistent_only: bool = False) -> int:
-        return sum(
-            1
-            for r in self.records
-            if r.kind is kind and (r.persistent or not persistent_only)
-        )
+        key = ("count", kind, persistent_only)
+        cached = self._stat_cache.get(key)
+        if cached is None:
+            code = _KIND_TO_CODE[kind]
+            if persistent_only:
+                cached = sum(
+                    1
+                    for k, p in zip(self.kind_codes, self.persistent_flags)
+                    if k == code and p
+                )
+            else:
+                cached = sum(1 for k in self.kind_codes if k == code)
+            self._stat_cache[key] = cached
+        return cached
 
     def stores_per_kilo_instruction(self, persistent_only: bool = False) -> float:
         """Store PPKI — comparable to Table V's 'num stores' columns."""
@@ -92,35 +324,176 @@ class MemoryTrace:
         return 1000.0 * self.count(OpKind.STORE, persistent_only) / instructions
 
     def touched_blocks(self) -> int:
-        return len({r.block for r in self.records if r.kind is not OpKind.SFENCE})
+        cached = self._stat_cache.get("touched_blocks")
+        if cached is None:
+            sfence = KIND_SFENCE
+            cached = len(
+                {
+                    address >> BLOCK_SHIFT
+                    for kind, address in zip(self.kind_codes, self.addresses)
+                    if kind != sfence
+                }
+            )
+            self._stat_cache["touched_blocks"] = cached
+        return cached
 
     # ------------------------------------------------------------------
-    # (de)serialization: one record per line, "K address gap persistent"
+    # text (de)serialization: one record per line, "K address gap persistent"
     # ------------------------------------------------------------------
 
     def save(self, path: Union[str, Path]) -> None:
+        code_to_value = _CODE_TO_VALUE
         with open(path, "w", encoding="ascii") as fh:
             fh.write(f"# trace {self.name}\n")
-            for r in self.records:
-                fh.write(
-                    f"{r.kind.value} {r.address:x} {r.gap} {int(r.persistent)}\n"
-                )
+            for code, address, gap, persistent in zip(
+                self.kind_codes, self.addresses, self.gaps, self.persistent_flags
+            ):
+                fh.write(f"{code_to_value[code]} {address:x} {gap} {persistent}\n")
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "MemoryTrace":
+        # The header names the trace; fall back to the file stem for
+        # headerless files.
         trace = cls(name=Path(path).stem)
+        value_to_code = _VALUE_TO_CODE
+        append_op = trace.append_op
         with open(path, "r", encoding="ascii") as fh:
             for line in fh:
                 line = line.strip()
-                if not line or line.startswith("#"):
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    header = line[1:].strip()
+                    if header.startswith("trace "):
+                        trace.name = header[len("trace "):].strip()
                     continue
                 kind_s, addr_s, gap_s, persistent_s = line.split()
-                trace.append(
-                    TraceRecord(
-                        kind=OpKind(kind_s),
-                        address=int(addr_s, 16),
-                        gap=int(gap_s),
-                        persistent=bool(int(persistent_s)),
-                    )
+                append_op(
+                    value_to_code[kind_s],
+                    int(addr_s, 16),
+                    int(gap_s),
+                    1 if int(persistent_s) else 0,
                 )
         return trace
+
+    # ------------------------------------------------------------------
+    # binary (de)serialization: header + raw little-endian column bytes
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the versioned binary trace format."""
+        name_bytes = self.name.encode("utf-8")
+        columns = self._columns()
+        if _BIG_ENDIAN:
+            columns = tuple(self._swapped(col) for col in columns)
+        header = _HEADER.pack(
+            TRACE_MAGIC, TRACE_FORMAT_VERSION, 0, len(name_bytes), len(self)
+        )
+        return b"".join((header, name_bytes, *(col.tobytes() for col in columns)))
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "MemoryTrace":
+        """Parse the versioned binary trace format.
+
+        Raises:
+            TraceFormatError: On a bad magic, unsupported version, or a
+                payload whose size disagrees with the header counts.
+        """
+        if len(blob) < _HEADER.size:
+            raise TraceFormatError(
+                f"binary trace too short: {len(blob)} bytes < {_HEADER.size}-byte header"
+            )
+        magic, version, _reserved, name_len, count = _HEADER.unpack_from(blob)
+        if magic != TRACE_MAGIC:
+            raise TraceFormatError(f"bad trace magic {magic!r} (expected {TRACE_MAGIC!r})")
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceFormatError(
+                f"unsupported trace format version {version} (expected {TRACE_FORMAT_VERSION})"
+            )
+        trace = cls()
+        offset = _HEADER.size
+        trace.name = blob[offset : offset + name_len].decode("utf-8")
+        offset += name_len
+        expected = offset + sum(col.itemsize for col in trace._columns()) * count
+        if len(blob) != expected:
+            raise TraceFormatError(
+                f"binary trace payload is {len(blob)} bytes; header implies {expected}"
+            )
+        for col in trace._columns():
+            size = col.itemsize * count
+            col.frombytes(blob[offset : offset + size])
+            offset += size
+        if _BIG_ENDIAN:
+            for col in trace._columns():
+                col.byteswap()
+        return trace
+
+    def save_binary(self, path: Union[str, Path]) -> None:
+        """Write the binary trace format (columns via ``array.tofile``)."""
+        name_bytes = self.name.encode("utf-8")
+        columns = self._columns()
+        if _BIG_ENDIAN:
+            columns = tuple(self._swapped(col) for col in columns)
+        with open(path, "wb") as fh:
+            fh.write(
+                _HEADER.pack(
+                    TRACE_MAGIC, TRACE_FORMAT_VERSION, 0, len(name_bytes), len(self)
+                )
+            )
+            fh.write(name_bytes)
+            for col in columns:
+                col.tofile(fh)
+
+    @classmethod
+    def load_binary(cls, path: Union[str, Path]) -> "MemoryTrace":
+        """Read the binary trace format (columns via ``array.fromfile``).
+
+        Raises:
+            TraceFormatError: On a corrupt or truncated file.
+        """
+        with open(path, "rb") as fh:
+            header = fh.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                raise TraceFormatError(
+                    f"binary trace {path!s} truncated inside the header"
+                )
+            magic, version, _reserved, name_len, count = _HEADER.unpack(header)
+            if magic != TRACE_MAGIC:
+                raise TraceFormatError(
+                    f"bad trace magic {magic!r} in {path!s} (expected {TRACE_MAGIC!r})"
+                )
+            if version != TRACE_FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"unsupported trace format version {version} in {path!s}"
+                )
+            trace = cls()
+            name_bytes = fh.read(name_len)
+            if len(name_bytes) < name_len:
+                raise TraceFormatError(f"binary trace {path!s} truncated inside the name")
+            trace.name = name_bytes.decode("utf-8")
+            try:
+                for col in trace._columns():
+                    col.fromfile(fh, count)
+            except (EOFError, ValueError):
+                # EOFError for whole-item shortfalls; array raises
+                # ValueError when truncation lands mid-item.
+                raise TraceFormatError(
+                    f"binary trace {path!s} truncated: header promised {count} records"
+                ) from None
+            if fh.read(1):
+                raise TraceFormatError(
+                    f"binary trace {path!s} has trailing bytes past {count} records"
+                )
+        if _BIG_ENDIAN:
+            for col in trace._columns():
+                col.byteswap()
+        return trace
+
+    def _columns(self) -> Tuple[array, array, array, array]:
+        return (self.kind_codes, self.addresses, self.gaps, self.persistent_flags)
+
+    @staticmethod
+    def _swapped(col: array) -> array:
+        copy = array(col.typecode, col)
+        copy.byteswap()
+        return copy

@@ -6,6 +6,21 @@ from repro.crypto.bmt import BMTGeometry, BonsaiMerkleTree
 from repro.crypto.keys import KeySchedule
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_trace_cache(tmp_path_factory):
+    """Keep the on-disk trace cache out of the user's ~/.cache during tests."""
+    import os
+
+    root = tmp_path_factory.mktemp("trace-cache")
+    previous = os.environ.get("PLP_TRACE_CACHE")
+    os.environ["PLP_TRACE_CACHE"] = str(root)
+    yield
+    if previous is None:
+        os.environ.pop("PLP_TRACE_CACHE", None)
+    else:
+        os.environ["PLP_TRACE_CACHE"] = previous
+
+
 @pytest.fixture
 def keys():
     return KeySchedule(b"test-root-key")

@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.workloads.trace import MemoryTrace, OpKind, TraceRecord
+from repro.workloads.trace import (
+    KIND_LOAD,
+    KIND_SFENCE,
+    KIND_STORE,
+    TRACE_MAGIC,
+    MemoryTrace,
+    OpKind,
+    TraceFormatError,
+    TraceRecord,
+)
 
 
 def test_record_block_and_page_arithmetic():
@@ -73,3 +82,193 @@ def test_empty_trace():
     assert len(trace) == 0
     assert trace.instruction_count == 0
     assert trace.stores_per_kilo_instruction() == 0.0
+
+
+# ----------------------------------------------------------------------
+# columnar storage
+# ----------------------------------------------------------------------
+
+
+SAMPLE = [
+    TraceRecord(OpKind.STORE, 0x1000, gap=7, persistent=True),
+    TraceRecord(OpKind.LOAD, 0x2040, gap=0, persistent=False),
+    TraceRecord(OpKind.SFENCE),
+    TraceRecord(OpKind.STORE, 0xFFFF_FFFF_0040, gap=3, persistent=False),
+]
+
+
+def test_columns_parallel_and_packed():
+    trace = MemoryTrace(SAMPLE)
+    assert list(trace.kind_codes) == [KIND_STORE, KIND_LOAD, KIND_SFENCE, KIND_STORE]
+    assert list(trace.addresses) == [r.address for r in SAMPLE]
+    assert list(trace.gaps) == [r.gap for r in SAMPLE]
+    assert list(trace.persistent_flags) == [int(r.persistent) for r in SAMPLE]
+    assert trace.kind_codes.itemsize == 1
+    assert trace.addresses.itemsize == 8
+
+
+def test_records_view_indexing_and_equality():
+    trace = MemoryTrace(SAMPLE)
+    assert trace.records[0] == SAMPLE[0]
+    assert trace.records[-1] == SAMPLE[-1]
+    assert trace.records[1:3] == SAMPLE[1:3]
+    assert trace.records == list(SAMPLE)
+    assert list(trace) == SAMPLE
+    with pytest.raises(IndexError):
+        trace.records[len(SAMPLE)]
+
+
+def test_records_assignment_repacks_columns():
+    trace = MemoryTrace(SAMPLE)
+    trace.records = [r for r in trace.records if r.kind is not OpKind.SFENCE]
+    assert len(trace) == 3
+    assert KIND_SFENCE not in set(trace.kind_codes)
+    assert trace.records[1] == SAMPLE[1]
+
+
+def test_append_op_matches_append():
+    via_records = MemoryTrace(SAMPLE)
+    via_ops = MemoryTrace()
+    for r in SAMPLE:
+        via_ops.append_op(r.kind.code, r.address, r.gap, int(r.persistent))
+    assert via_ops.records == via_records.records
+
+
+def test_trace_record_is_immutable():
+    record = TraceRecord(OpKind.STORE, 0x40)
+    with pytest.raises(AttributeError):
+        record.address = 0x80
+
+
+# ----------------------------------------------------------------------
+# cached summary statistics
+# ----------------------------------------------------------------------
+
+
+def test_statistics_cache_invalidated_on_append():
+    trace = MemoryTrace([TraceRecord(OpKind.STORE, 0, gap=9)])
+    assert trace.instruction_count == 10
+    assert trace.count(OpKind.STORE) == 1
+    assert trace.touched_blocks() == 1
+    trace.append(TraceRecord(OpKind.STORE, 128, gap=4, persistent=False))
+    assert trace.instruction_count == 15
+    assert trace.count(OpKind.STORE) == 2
+    assert trace.count(OpKind.STORE, persistent_only=True) == 1
+    assert trace.touched_blocks() == 2
+
+
+def test_statistics_cache_invalidated_on_records_assignment():
+    trace = MemoryTrace(SAMPLE)
+    assert trace.count(OpKind.SFENCE) == 1
+    trace.records = []
+    assert trace.count(OpKind.SFENCE) == 0
+    assert trace.instruction_count == 0
+
+
+def test_repeated_statistics_are_cached():
+    trace = MemoryTrace(SAMPLE)
+    assert trace.instruction_count == trace.instruction_count
+    assert "instructions" in trace._stat_cache
+    assert ("count", OpKind.STORE, False) not in trace._stat_cache
+    trace.count(OpKind.STORE)
+    assert ("count", OpKind.STORE, False) in trace._stat_cache
+
+
+# ----------------------------------------------------------------------
+# text header (regression: load used to discard the header name)
+# ----------------------------------------------------------------------
+
+
+def test_load_parses_header_name_not_file_stem(tmp_path):
+    trace = MemoryTrace(SAMPLE, name="real-name")
+    path = tmp_path / "different-stem.trace"
+    trace.save(path)
+    loaded = MemoryTrace.load(path)
+    assert loaded.name == "real-name"
+
+
+def test_load_without_header_falls_back_to_stem(tmp_path):
+    path = tmp_path / "stem-name.trace"
+    path.write_text("S 1000 7 1\n", encoding="ascii")
+    loaded = MemoryTrace.load(path)
+    assert loaded.name == "stem-name"
+    assert loaded.records == [TraceRecord(OpKind.STORE, 0x1000, gap=7)]
+
+
+# ----------------------------------------------------------------------
+# binary format round trips
+# ----------------------------------------------------------------------
+
+
+def _assert_traces_identical(a: MemoryTrace, b: MemoryTrace) -> None:
+    assert a.name == b.name
+    assert a.records == b.records
+    for mine, theirs in zip(a, b):
+        assert mine.kind is theirs.kind
+        assert mine.address == theirs.address
+        assert mine.gap == theirs.gap
+        assert mine.persistent == theirs.persistent
+
+
+def test_binary_roundtrip_every_field(tmp_path):
+    trace = MemoryTrace(SAMPLE, name="binary-demo")
+    path = tmp_path / "demo.bin"
+    trace.save_binary(path)
+    _assert_traces_identical(MemoryTrace.load_binary(path), trace)
+
+
+def test_bytes_roundtrip(tmp_path):
+    trace = MemoryTrace(SAMPLE, name="bytes-demo")
+    _assert_traces_identical(MemoryTrace.from_bytes(trace.to_bytes()), trace)
+
+
+def test_text_binary_text_roundtrip(tmp_path):
+    trace = MemoryTrace(SAMPLE, name="cross-format")
+    text_path = tmp_path / "t.trace"
+    bin_path = tmp_path / "t.bin"
+    trace.save(text_path)
+    from_text = MemoryTrace.load(text_path)
+    from_text.save_binary(bin_path)
+    from_binary = MemoryTrace.load_binary(bin_path)
+    _assert_traces_identical(from_binary, trace)
+
+
+def test_binary_roundtrip_empty_trace(tmp_path):
+    trace = MemoryTrace(name="empty")
+    path = tmp_path / "empty.bin"
+    trace.save_binary(path)
+    loaded = MemoryTrace.load_binary(path)
+    assert len(loaded) == 0
+    assert loaded.name == "empty"
+
+
+def test_binary_bad_magic_raises(tmp_path):
+    path = tmp_path / "bad.bin"
+    path.write_bytes(b"NOTATRCE" + b"\0" * 32)
+    with pytest.raises(TraceFormatError, match="magic"):
+        MemoryTrace.load_binary(path)
+
+
+def test_binary_truncated_payload_raises(tmp_path):
+    trace = MemoryTrace(SAMPLE, name="trunc")
+    path = tmp_path / "trunc.bin"
+    trace.save_binary(path)
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-5])
+    with pytest.raises(TraceFormatError, match="truncated"):
+        MemoryTrace.load_binary(path)
+    with pytest.raises(TraceFormatError):
+        MemoryTrace.from_bytes(blob[:-5])
+
+
+def test_binary_unsupported_version_raises(tmp_path):
+    trace = MemoryTrace(SAMPLE, name="ver")
+    blob = bytearray(trace.to_bytes())
+    assert blob[:8] == TRACE_MAGIC
+    blob[8] = 99  # version field (little-endian u16 after the magic)
+    with pytest.raises(TraceFormatError, match="version"):
+        MemoryTrace.from_bytes(bytes(blob))
+    path = tmp_path / "ver.bin"
+    path.write_bytes(bytes(blob))
+    with pytest.raises(TraceFormatError, match="version"):
+        MemoryTrace.load_binary(path)
