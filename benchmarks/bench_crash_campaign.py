@@ -1,0 +1,63 @@
+"""Crash-injection campaign over the full scheme grid.
+
+Runs every (scheme x workload x crash point x drop subset) cell of the
+campaign, regenerates Tables I and II from the cells, and gates on the
+paper's invariants: compliant (2SP + ordered-root) schemes must recover
+every cell, and only the unordered strawman may show detected failures
+or silent corruption.
+"""
+
+from repro.analysis.campaign import (
+    summarize,
+    table1,
+    table2,
+    verify_campaign,
+)
+from repro.campaign import enumerate_grid, run_campaign
+from repro.campaign.engine import (
+    OUTCOME_RECOVERED,
+    OUTCOME_SILENT_CORRUPTION,
+    OUTCOMES,
+)
+
+from common import archive, default_jobs
+
+
+def run_full_campaign():
+    grid = enumerate_grid()
+    cells, report = run_campaign(grid, workers=default_jobs(), cache=False)
+    return grid, cells, report
+
+
+def test_crash_campaign(benchmark):
+    grid, cells, report = benchmark.pedantic(run_full_campaign, rounds=1, iterations=1)
+
+    verify_campaign(cells)
+
+    counts = {outcome: 0 for outcome in OUTCOMES}
+    for cell in cells:
+        counts[cell.classification] += 1
+    compliant = [c for c in cells if c.compliant]
+    assert compliant and all(
+        c.classification == OUTCOME_RECOVERED for c in compliant
+    )
+    silent = [c for c in cells if c.classification == OUTCOME_SILENT_CORRUPTION]
+    assert silent and all(c.scheme == "unordered" for c in silent)
+
+    text = "\n\n".join(
+        [
+            summarize(cells).render(),
+            table1(cells).render(),
+            table2(cells).render(),
+            f"campaign: {report.summary()}",
+        ]
+    )
+    archive(
+        "crash_campaign",
+        text,
+        data={
+            "cells": len(cells),
+            "outcomes": counts,
+            "report": report.as_dict(),
+        },
+    )

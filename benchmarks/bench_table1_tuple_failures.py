@@ -56,6 +56,6 @@ def test_table1_tuple_failures(benchmark):
     report, outcome = outcomes[TupleItem.MAC]
     assert outcome == "MAC failure"
     report, outcome = outcomes[TupleItem.COUNTER]
-    assert outcome == "Wrong plaintext, BMT&MAC failure"
+    assert outcome == "Wrong plaintext, BMT & MAC failure"
     report, outcome = outcomes[TupleItem.DATA]
     assert outcome == "Wrong plaintext, MAC failure"

@@ -1,5 +1,21 @@
 """Result aggregation and table/figure rendering for the harness."""
 
 from repro.analysis.report import Table, format_series, normalized
+from repro.analysis.campaign import (
+    CampaignViolation,
+    summarize,
+    table1,
+    table2,
+    verify_campaign,
+)
 
-__all__ = ["Table", "format_series", "normalized"]
+__all__ = [
+    "CampaignViolation",
+    "Table",
+    "format_series",
+    "normalized",
+    "summarize",
+    "table1",
+    "table2",
+    "verify_campaign",
+]

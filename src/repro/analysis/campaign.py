@@ -1,0 +1,199 @@
+"""Campaign aggregation: summaries, Table I/II regeneration, gating.
+
+This module turns a list of classified
+:class:`~repro.campaign.engine.CampaignCell` objects into the paper's
+tables and into a hard pass/fail verdict:
+
+* :func:`summarize` — scheme x outcome count matrix.
+* :func:`table1` / :func:`table2` — regenerate Tables I and II from the
+  unordered-strawman cells of the campaign (not from hand-picked demo
+  runs), pinning the paper's exact outcome strings.
+* :func:`verify_campaign` — raises :class:`CampaignViolation` when a
+  compliant (2SP + ordered-root) configuration shows *any* silent
+  corruption or non-recovered cell, when any cell broke a mechanical
+  WPQ invariant, or when a Table I/II row does not match the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.report import Table
+from repro.campaign.engine import (
+    OUTCOME_INVARIANT_VIOLATION,
+    OUTCOME_RECOVERED,
+    OUTCOME_SILENT_CORRUPTION,
+    OUTCOMES,
+    CampaignCell,
+)
+
+TABLE1_SCHEME = "unordered"
+TABLE1_WORKLOAD = "overwrite"
+
+TABLE1_EXPECTED: Dict[str, str] = {
+    "root_ack": "BMT failure",
+    "mac": "MAC failure",
+    "counter": "Wrong plaintext, BMT & MAC failure",
+    "data": "Wrong plaintext, MAC failure",
+}
+"""Paper Table I: outcome of losing one tuple component of the youngest
+persist of an overwritten block."""
+
+TABLE2_WORKLOAD = "ordered_pair"
+
+TABLE2_ROWS = (
+    # (label, victim, dropped item, observed block, expected outcome)
+    ("gamma of P1 after P2", 0, "counter", 0, "Wrong plaintext, BMT & MAC failure"),
+    ("M of P1 after P2", 0, "mac", 0, "MAC failure"),
+    ("R of P2 before P1 lost", 1, "root_ack", 64, "BMT failure"),
+)
+"""Paper Table II: ordering violations over the persist pair P1 -> P2."""
+
+
+class CampaignViolation(RuntimeError):
+    """The campaign observed an outcome the paper's invariants forbid."""
+
+
+def _cell(
+    cells: Iterable[CampaignCell],
+    scheme: str,
+    workload: str,
+    victim: int,
+    drops: Sequence[str],
+) -> Optional[CampaignCell]:
+    want = tuple(sorted(drops))
+    for cell in cells:
+        if (
+            cell.scheme == scheme
+            and cell.workload == workload
+            and cell.victim == victim
+            and tuple(cell.drops) == want
+        ):
+            return cell
+    return None
+
+
+def summarize(cells: Sequence[CampaignCell]) -> Table:
+    """Scheme x outcome count matrix over the whole campaign."""
+    table = Table(
+        "Crash-injection campaign summary",
+        ["scheme", "compliant", "cells"] + list(OUTCOMES),
+    )
+    schemes: List[str] = []
+    for cell in cells:
+        if cell.scheme not in schemes:
+            schemes.append(cell.scheme)
+    for scheme in schemes:
+        mine = [c for c in cells if c.scheme == scheme]
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for cell in mine:
+            counts[cell.classification] += 1
+        table.add_row(
+            scheme,
+            "yes" if mine[0].compliant else "no",
+            len(mine),
+            *(counts[outcome] for outcome in OUTCOMES),
+        )
+    return table
+
+
+def _table1_victim(cells: Sequence[CampaignCell]) -> int:
+    """Table I's crash point: the youngest persist of the overwrite."""
+    for cell in cells:
+        if cell.scheme == TABLE1_SCHEME and cell.workload == TABLE1_WORKLOAD:
+            return cell.total_persists - 1
+    raise CampaignViolation(
+        "campaign output has no unordered/overwrite cells; "
+        "Table I cannot be regenerated"
+    )
+
+
+def table1(cells: Sequence[CampaignCell]) -> Table:
+    """Regenerate paper Table I from the campaign's unordered cells."""
+    victim = _table1_victim(cells)
+    table = Table(
+        "Table I: losing one tuple item of an in-flight persist (unordered)",
+        ["dropped item", "outcome", "expected", "match"],
+    )
+    for item, expected in TABLE1_EXPECTED.items():
+        cell = _cell(cells, TABLE1_SCHEME, TABLE1_WORKLOAD, victim, (item,))
+        outcome = cell.block_outcome(0) if cell is not None else "<missing cell>"
+        table.add_row(item, outcome, expected, "yes" if outcome == expected else "NO")
+    return table
+
+
+def table2(cells: Sequence[CampaignCell]) -> Table:
+    """Regenerate paper Table II from the campaign's unordered cells."""
+    table = Table(
+        "Table II: persist-order violations over P1 -> P2 (unordered)",
+        ["violation", "outcome", "expected", "match"],
+    )
+    for label, victim, item, block, expected in TABLE2_ROWS:
+        cell = _cell(cells, TABLE1_SCHEME, TABLE2_WORKLOAD, victim, (item,))
+        outcome = (
+            cell.block_outcome(block) if cell is not None else "<missing cell>"
+        )
+        table.add_row(label, outcome, expected, "yes" if outcome == expected else "NO")
+    return table
+
+
+def verify_campaign(
+    cells: Sequence[CampaignCell], require_tables: bool = True
+) -> None:
+    """Gate the campaign: raise on any paper-invariant violation.
+
+    Args:
+        cells: Classified campaign cells.
+        require_tables: Also require every Table I/II row to be present
+            and to match the paper (disable for filtered grids that
+            exclude the unordered strawman or its workloads).
+
+    Raises:
+        CampaignViolation: a compliant scheme silently corrupted or
+            failed to recover, a mechanical WPQ invariant broke, or a
+            regenerated Table I/II row mismatches the paper.
+    """
+    failures: List[str] = []
+
+    for cell in cells:
+        where = (
+            f"{cell.scheme}/{cell.workload} victim={cell.victim} "
+            f"drops={','.join(cell.drops) or '-'}"
+        )
+        if cell.problems:
+            failures.append(f"{where}: mechanical invariant broke: {cell.problems}")
+        if cell.compliant:
+            if cell.consistent and not cell.intent_ok:
+                failures.append(f"{where}: SILENT CORRUPTION in a compliant scheme")
+            elif cell.classification != OUTCOME_RECOVERED:
+                failures.append(
+                    f"{where}: compliant scheme classified {cell.classification}"
+                )
+        elif cell.classification == OUTCOME_INVARIANT_VIOLATION:
+            failures.append(f"{where}: mechanical invariant violation")
+
+    if require_tables:
+        victim = _table1_victim(cells)
+        for item, expected in TABLE1_EXPECTED.items():
+            cell = _cell(cells, TABLE1_SCHEME, TABLE1_WORKLOAD, victim, (item,))
+            if cell is None:
+                failures.append(f"Table I row for {item}: cell missing from campaign")
+            elif cell.block_outcome(0) != expected:
+                failures.append(
+                    f"Table I row for {item}: got {cell.block_outcome(0)!r}, "
+                    f"expected {expected!r}"
+                )
+        for label, row_victim, item, block, expected in TABLE2_ROWS:
+            cell = _cell(cells, TABLE1_SCHEME, TABLE2_WORKLOAD, row_victim, (item,))
+            if cell is None:
+                failures.append(f"Table II row {label!r}: cell missing from campaign")
+            elif cell.block_outcome(block) != expected:
+                failures.append(
+                    f"Table II row {label!r}: got {cell.block_outcome(block)!r}, "
+                    f"expected {expected!r}"
+                )
+
+    if failures:
+        raise CampaignViolation(
+            f"{len(failures)} campaign violation(s):\n  " + "\n  ".join(failures)
+        )

@@ -1,0 +1,59 @@
+"""Systematic crash-injection campaign over the scheme grid.
+
+The campaign sweeps (crash point) x (dropped tuple-component subset) x
+(update scheme) over a set of small deterministic workloads, drives the
+functional secure memory through a real
+:class:`~repro.mem.wpq.WritePendingQueue` power-failure flush, and
+classifies every cell of the grid by running the recovery checker
+differentially against the writer's intent.
+
+See :mod:`repro.campaign.grid` for the grid enumeration,
+:mod:`repro.campaign.engine` for the per-cell crash/recovery drive, and
+:mod:`repro.campaign.runner` for the parallel, cached campaign run.
+"""
+
+from repro.campaign.grid import (
+    CAMPAIGN_SCHEMES,
+    DROP_SUBSETS,
+    SINGLETON_SUBSETS,
+    WORKLOADS,
+    Scenario,
+    SchemeSemantics,
+    enumerate_grid,
+    journal_plan,
+    scenario_key,
+    semantics_for,
+)
+from repro.campaign.engine import (
+    OUTCOME_DETECTED,
+    OUTCOME_INVARIANT_VIOLATION,
+    OUTCOME_RECOVERED,
+    OUTCOME_SILENT_CORRUPTION,
+    OUTCOMES,
+    CampaignCell,
+    run_scenario,
+)
+from repro.campaign.runner import CampaignCache, default_campaign_cache_root, run_campaign
+
+__all__ = [
+    "CAMPAIGN_SCHEMES",
+    "CampaignCache",
+    "CampaignCell",
+    "DROP_SUBSETS",
+    "OUTCOMES",
+    "OUTCOME_DETECTED",
+    "OUTCOME_INVARIANT_VIOLATION",
+    "OUTCOME_RECOVERED",
+    "OUTCOME_SILENT_CORRUPTION",
+    "SINGLETON_SUBSETS",
+    "Scenario",
+    "SchemeSemantics",
+    "WORKLOADS",
+    "default_campaign_cache_root",
+    "enumerate_grid",
+    "journal_plan",
+    "run_campaign",
+    "run_scenario",
+    "scenario_key",
+    "semantics_for",
+]

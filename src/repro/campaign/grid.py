@@ -1,0 +1,290 @@
+"""Campaign grid: scenarios, workloads, and per-scheme crash semantics.
+
+A *scenario* is one cell of the campaign grid: a scheme, a workload, a
+crash point, and the subset of the victim persist's memory-tuple
+components ``(C, γ, M, R)`` that fail to reach NVM.  Crash points are
+indexed by position in the persist journal:
+
+* ``victim == -1`` — the crash strikes after every issued persist
+  completed (the trailing persist boundary).
+* ``victim == v, drops == ()`` — the boundary right after persist ``v``
+  completed; younger persists have not begun gathering.
+* ``victim == v, drops != ()`` — mid-gather: persist ``v`` is in flight
+  and the listed components never arrive.
+
+Scenarios are frozen, hashable, and JSON-trivial (drop subsets are
+sorted tuples of :class:`~repro.mem.wpq.TupleItem` values) so they can
+cross process boundaries and key a content-addressed cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.schemes import UpdateScheme
+from repro.crypto.primitives import BLOCK_SIZE
+from repro.mem.wpq import TupleItem
+from repro.persistency.models import PersistencyModel
+from repro.system.secure_memory import FunctionalSecureMemory, PersistRecord
+
+CAMPAIGN_PAGES = 64
+"""Pages in the campaign's functional memory (64-leaf, 8-ary BMT)."""
+
+ITEM_ORDER: Tuple[TupleItem, ...] = (
+    TupleItem.DATA,
+    TupleItem.COUNTER,
+    TupleItem.MAC,
+    TupleItem.ROOT_ACK,
+)
+
+# All 16 subsets of the tuple, smallest first, in stable item order.
+DROP_SUBSETS: Tuple[Tuple[str, ...], ...] = tuple(
+    sorted(
+        (
+            tuple(
+                item.value
+                for i, item in enumerate(ITEM_ORDER)
+                if (mask >> i) & 1
+            )
+            for mask in range(16)
+        ),
+        key=lambda subset: (len(subset), subset),
+    )
+)
+
+SINGLETON_SUBSETS: Tuple[Tuple[str, ...], ...] = ((),) + tuple(
+    (item.value,) for item in ITEM_ORDER
+)
+
+# Workloads: short deterministic op lists.  Blocks are chosen on
+# distinct counter pages (64 blocks/page) so persists touch distinct
+# BMT leaves; "overwrite" intentionally reuses one block.
+WORKLOADS: Dict[str, Tuple[Tuple, ...]] = {
+    # Two persists of the same block: the younger tuple supersedes.
+    "overwrite": (("store", 0, 1), ("store", 0, 2), ("barrier",)),
+    # The paper's Table II ordered pair P1 -> P2 on distinct pages.
+    "ordered_pair": (("store", 0, 1), ("store", 64, 2), ("barrier",)),
+    # Two epochs under EP; four persists under strict.
+    "epoch_mix": (
+        ("store", 0, 1),
+        ("store", 64, 2),
+        ("barrier",),
+        ("store", 0, 3),
+        ("store", 192, 4),
+        ("barrier",),
+    ),
+    # A closed epoch followed by an open (never-persisted) epoch.
+    "open_epoch": (
+        ("store", 0, 1),
+        ("store", 128, 2),
+        ("barrier",),
+        ("store", 0, 5),
+    ),
+}
+
+CAMPAIGN_SCHEMES: Tuple[str, ...] = (
+    "secure_wb",
+    "unordered",
+    "sp",
+    "pipeline",
+    "o3",
+    "coalescing",
+)
+"""Table IV schemes the campaign covers.  ``sgx_sp`` is excluded: its
+whole-path persistence requirement is not part of the functional NVM
+model (see ``UpdateScheme.persists_whole_path``)."""
+
+
+def payload(tag: int) -> bytes:
+    """Deterministic 64 B plaintext for a workload op tag."""
+    return bytes([tag & 0xFF]) * BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One campaign grid cell (scheme x workload x crash point x drops)."""
+
+    scheme: str
+    workload: str
+    victim: int
+    drops: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        UpdateScheme.from_name(self.scheme)
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}")
+        valid = {item.value for item in TupleItem}
+        bad = set(self.drops) - valid
+        if bad:
+            raise ValueError(f"unknown tuple items in drops: {sorted(bad)}")
+        object.__setattr__(self, "drops", tuple(sorted(set(self.drops))))
+        if self.victim < -1:
+            raise ValueError("victim must be -1 (boundary) or a journal index")
+        if self.victim == -1 and self.drops:
+            raise ValueError("drops require an in-flight victim persist")
+
+    @property
+    def drop_items(self) -> frozenset:
+        return frozenset(TupleItem(value) for value in self.drops)
+
+
+@dataclass(frozen=True)
+class SchemeSemantics:
+    """How a scheme's crash machinery behaves in the functional model.
+
+    Attributes:
+        scheme: The scheme.
+        model: Persistency model the campaign memory runs under.
+        persistent: Whether stores are journaled at all (``secure_wb``
+            provides no persistency: nothing is guaranteed durable).
+        atomic: 2SP locking — incomplete entries are invalidated
+            wholesale at power failure, and the durable-root register
+            only commits at entry release.
+        ordered_root: Invariant 2 — a persist's root (and, with 2SP,
+            its whole tuple) persists only after every older persist's.
+        coalesced: BMT updates coalesce at the LCA within an epoch; a
+            leading persist's root ack is delegated to the trailing one.
+    """
+
+    scheme: UpdateScheme
+    model: PersistencyModel
+    persistent: bool
+    atomic: bool
+    ordered_root: bool
+    coalesced: bool
+
+    @property
+    def compliant(self) -> bool:
+        """2SP + ordered root updates: both paper invariants hold."""
+        return self.persistent and self.atomic and self.ordered_root
+
+
+_SEMANTICS: Dict[UpdateScheme, SchemeSemantics] = {
+    UpdateScheme.SECURE_WB: SchemeSemantics(
+        UpdateScheme.SECURE_WB, PersistencyModel.NONE, False, False, False, False
+    ),
+    # The strawman *claims* strict persistency (the memory journals every
+    # store) but gathers without locking or ordering — Tables I & II.
+    UpdateScheme.UNORDERED: SchemeSemantics(
+        UpdateScheme.UNORDERED, PersistencyModel.STRICT, True, False, False, False
+    ),
+    UpdateScheme.SP: SchemeSemantics(
+        UpdateScheme.SP, PersistencyModel.STRICT, True, True, True, False
+    ),
+    UpdateScheme.PIPELINE: SchemeSemantics(
+        UpdateScheme.PIPELINE, PersistencyModel.STRICT, True, True, True, False
+    ),
+    UpdateScheme.O3: SchemeSemantics(
+        UpdateScheme.O3, PersistencyModel.EPOCH, True, True, True, False
+    ),
+    UpdateScheme.COALESCING: SchemeSemantics(
+        UpdateScheme.COALESCING, PersistencyModel.EPOCH, True, True, True, True
+    ),
+}
+
+
+def semantics_for(scheme: str) -> SchemeSemantics:
+    """Crash semantics for a campaign scheme."""
+    resolved = UpdateScheme.from_name(scheme)
+    try:
+        return _SEMANTICS[resolved]
+    except KeyError:
+        raise ValueError(
+            f"scheme {scheme!r} is not part of the crash campaign "
+            f"(supported: {', '.join(CAMPAIGN_SCHEMES)})"
+        ) from None
+
+
+def build_memory(sem: SchemeSemantics) -> FunctionalSecureMemory:
+    """A fresh campaign memory for one scenario run.
+
+    ``atomic_tuples=False``: the WPQ drive in the engine — not the
+    journal shortcut — decides what persists; the injector it derives is
+    applied faithfully.
+    """
+    return FunctionalSecureMemory(
+        num_pages=CAMPAIGN_PAGES,
+        persistency=sem.model,
+        epoch_size=None,
+        atomic_tuples=False,
+    )
+
+
+def replay(mem: FunctionalSecureMemory, ops: Sequence[Tuple]) -> None:
+    """Apply a workload's ops to a functional memory."""
+    for op in ops:
+        if op[0] == "store":
+            _, block, tag = op
+            mem.store(block * BLOCK_SIZE, payload(tag))
+        elif op[0] == "barrier":
+            mem.barrier()
+        else:
+            raise ValueError(f"unknown workload op {op[0]!r}")
+
+
+def journal_plan(scheme: str, workload: str) -> Tuple[PersistRecord, ...]:
+    """The persist journal a (scheme, workload) pair produces.
+
+    Used by the grid enumeration to find every crash point, and by the
+    engine to drive the WPQ.  Persist IDs equal journal indices.
+    """
+    sem = semantics_for(scheme)
+    mem = build_memory(sem)
+    replay(mem, WORKLOADS[workload])
+    return mem.journal
+
+
+def enumerate_grid(
+    schemes: Optional[Iterable[str]] = None,
+    workloads: Optional[Iterable[str]] = None,
+    subsets: Optional[Sequence[Tuple[str, ...]]] = None,
+) -> List[Scenario]:
+    """Every scenario of the campaign grid, in deterministic order.
+
+    Args:
+        schemes: Scheme names (default: all of :data:`CAMPAIGN_SCHEMES`).
+        workloads: Workload names (default: all of :data:`WORKLOADS`).
+        subsets: Drop subsets per mid-gather victim (default: all 16
+            subsets of the tuple, :data:`DROP_SUBSETS`).  The empty
+            subset yields the persist-boundary crash points.
+    """
+    scheme_list = list(schemes) if schemes is not None else list(CAMPAIGN_SCHEMES)
+    workload_list = (
+        sorted(workloads) if workloads is not None else sorted(WORKLOADS)
+    )
+    subset_list = list(subsets) if subsets is not None else list(DROP_SUBSETS)
+    if () not in subset_list:
+        subset_list = [()] + subset_list
+
+    grid: List[Scenario] = []
+    for scheme in scheme_list:
+        for workload in workload_list:
+            persists = len(journal_plan(scheme, workload))
+            grid.append(Scenario(scheme, workload, victim=-1))
+            for victim in range(persists):
+                for subset in subset_list:
+                    grid.append(Scenario(scheme, workload, victim, subset))
+    return grid
+
+
+CAMPAIGN_FORMAT = 1
+"""Bump to invalidate cached campaign cells on semantic changes."""
+
+
+def scenario_key(scenario: Scenario, code: str) -> str:
+    """Content-addressed cache key for one scenario's cell."""
+    blob = json.dumps(
+        {
+            "format": CAMPAIGN_FORMAT,
+            "scheme": scenario.scheme,
+            "workload": scenario.workload,
+            "victim": scenario.victim,
+            "drops": list(scenario.drops),
+            "code": code,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()

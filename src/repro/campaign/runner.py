@@ -1,0 +1,77 @@
+"""Parallel, cached execution of the campaign grid.
+
+Cells fan out through the generic sweep engine
+(:func:`repro.sweep.runner.run_tasks`): identical scenarios are
+deduplicated, cached cells are loaded from the content-addressed
+:class:`CampaignCache` (keyed by scenario + campaign format + code
+version), and the rest run across a fork-based process pool.  Cells are
+plain-JSON dataclasses, so parallel results are bit-identical to a
+sequential run, cold or warm.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.engine import CampaignCell, run_scenario
+from repro.campaign.grid import Scenario, scenario_key
+from repro.sweep.cache import JSONCache, caching_disabled, code_version
+from repro.sweep.runner import SweepReport, run_tasks
+
+
+def default_campaign_cache_root() -> Path:
+    env = os.environ.get("PLP_CAMPAIGN_CACHE")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "plp-repro" / "campaign"
+
+
+class CampaignCache(JSONCache):
+    """Directory of content-addressed :class:`CampaignCell` JSON files."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        super().__init__(root if root is not None else default_campaign_cache_root())
+
+    def _encode(self, value: CampaignCell) -> Dict:
+        return asdict(value)
+
+    def _decode(self, payload: Dict) -> CampaignCell:
+        return CampaignCell(**payload)
+
+
+def run_campaign(
+    scenarios: Sequence[Scenario],
+    workers: Optional[int] = None,
+    cache: Union[CampaignCache, str, bool, None] = True,
+) -> Tuple[List[CampaignCell], SweepReport]:
+    """Run every scenario, in parallel, through the campaign cache.
+
+    Args:
+        scenarios: Grid cells, in output order.
+        workers: Process count (``None``: ``PLP_SWEEP_JOBS`` or CPU
+            count; ``1`` runs inline).
+        cache: ``True`` for the default on-disk cache, ``False``/``None``
+            to disable, or a :class:`CampaignCache`/path.
+            ``PLP_NO_RESULT_CACHE=1`` forces caching off.
+
+    Returns:
+        ``(cells, report)`` with ``cells[i]`` the classified outcome of
+        ``scenarios[i]`` — bit-identical to a sequential run.
+    """
+    cell_cache: Optional[CampaignCache] = None
+    if not caching_disabled():
+        if isinstance(cache, CampaignCache):
+            cell_cache = cache
+        elif cache is True:
+            cell_cache = CampaignCache()
+        elif isinstance(cache, (str, os.PathLike)):
+            cell_cache = CampaignCache(cache)
+
+    code = code_version()
+    keys = [scenario_key(scenario, code) for scenario in scenarios]
+    return run_tasks(
+        list(scenarios), keys, run_scenario, workers=workers, cache=cell_cache
+    )

@@ -8,6 +8,7 @@ Examples::
         --param epoch_size --values 4,8,16,32,64,128,256
     plp-repro trace gcc --ki 25 --out gcc.trace
     plp-repro crash --drop mac
+    plp-repro crash-campaign --jobs 4 --out campaign.json
     plp-repro rebuild-time --pages 4096
 
 (Or ``python -m repro ...``.)
@@ -184,6 +185,70 @@ def cmd_crash(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_crash_campaign(args: argparse.Namespace) -> int:
+    """Systematic crash-injection campaign over the scheme grid."""
+    import json
+    from dataclasses import asdict
+
+    from repro.analysis.campaign import (
+        CampaignViolation,
+        summarize,
+        table1,
+        table2,
+        verify_campaign,
+    )
+    from repro.campaign import (
+        CAMPAIGN_SCHEMES,
+        SINGLETON_SUBSETS,
+        WORKLOADS,
+        enumerate_grid,
+        run_campaign,
+    )
+
+    schemes = (
+        [s.strip() for s in args.schemes.split(",") if s.strip()]
+        if args.schemes
+        else list(CAMPAIGN_SCHEMES)
+    )
+    workloads = (
+        [w.strip() for w in args.workloads.split(",") if w.strip()]
+        if args.workloads
+        else None
+    )
+    subsets = SINGLETON_SUBSETS if args.drops == "singletons" else None
+    grid = enumerate_grid(schemes=schemes, workloads=workloads, subsets=subsets)
+    cells, report = run_campaign(grid, workers=args.jobs, cache=not args.no_cache)
+
+    print(summarize(cells))
+    full_tables = set(schemes) >= {"unordered"} and (
+        workloads is None or {"overwrite", "ordered_pair"} <= set(workloads)
+    )
+    if full_tables:
+        print()
+        print(table1(cells))
+        print()
+        print(table2(cells))
+    print()
+    print(f"campaign: {report.summary()}")
+
+    if args.out:
+        payload = {
+            "cells": [asdict(cell) for cell in cells],
+            "report": report.as_dict(),
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"wrote {args.out} ({len(cells)} cells)")
+
+    try:
+        verify_campaign(cells, require_tables=full_tables)
+    except CampaignViolation as violation:
+        print(f"\nFAIL: {violation}", file=sys.stderr)
+        return 1
+    print("verify: zero silent corruptions or invariant violations in compliant schemes")
+    return 0
+
+
 def _bar(value: float, scale: float, width: int = 40) -> str:
     filled = max(1, round(value / scale * width)) if value > 0 else 0
     return "#" * min(width, filled)
@@ -295,6 +360,33 @@ def build_parser() -> argparse.ArgumentParser:
     crash.add_argument("--drop", choices=sorted(_DROP_ITEMS), default="mac")
     crash.add_argument("--atomic", action="store_true", help="enable the 2SP defense")
     crash.set_defaults(func=cmd_crash)
+
+    campaign = sub.add_parser(
+        "crash-campaign",
+        help="systematic crash-injection campaign over the scheme grid",
+    )
+    campaign.add_argument(
+        "--schemes",
+        default=None,
+        help="comma-separated campaign schemes (default: all Table IV schemes)",
+    )
+    campaign.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated workload names (default: all)",
+    )
+    campaign.add_argument(
+        "--drops",
+        choices=["all", "singletons"],
+        default="all",
+        help="drop subsets per crash point: all 16, or singletons only",
+    )
+    campaign.add_argument("--jobs", type=int, default=1, help="worker processes")
+    campaign.add_argument(
+        "--no-cache", action="store_true", help="bypass the on-disk campaign cache"
+    )
+    campaign.add_argument("--out", default=None, help="write campaign JSON here")
+    campaign.set_defaults(func=cmd_crash_campaign)
 
     rebuild = sub.add_parser("rebuild-time", help="estimate post-crash BMT rebuild time")
     rebuild.add_argument("--pages", type=int, default=4096, help="touched pages")

@@ -119,8 +119,16 @@ class CoalescingUnit:
     def resolve_delegate(
         persists: Sequence[CoalescedPersist], persist_id: int
     ) -> int:
-        """Follow a delegation chain to the persist that updates the root."""
+        """Follow a delegation chain to the persist that updates the root.
+
+        Raises:
+            KeyError: ``persist_id`` is not in the coalesced epoch.
+        """
         by_id = {p.persist_id: p for p in persists}
+        if persist_id not in by_id:
+            raise KeyError(
+                f"persist {persist_id} is not part of this coalesced epoch"
+            )
         seen = set()
         current = by_id[persist_id]
         while current.delegated_to is not None:

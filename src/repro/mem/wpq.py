@@ -68,6 +68,7 @@ class WritePendingQueue:
             raise ValueError("WPQ capacity must be positive")
         self.capacity = capacity
         self._entries: "OrderedDict[int, WPQEntry]" = OrderedDict()
+        self._known_epochs: Set[int] = set()
         self.persists_completed = 0
 
     # ------------------------------------------------------------------
@@ -115,6 +116,8 @@ class WritePendingQueue:
             raise ValueError(f"persist {persist_id} already allocated")
         entry = WPQEntry(persist_id=persist_id, epoch_id=epoch_id, locked=locked)
         self._entries[persist_id] = entry
+        if epoch_id is not None:
+            self._known_epochs.add(epoch_id)
         return entry
 
     def deliver(
@@ -162,8 +165,21 @@ class WritePendingQueue:
             released.append(self._entries.popitem(last=False)[1])
         return released
 
+    def epoch_known(self, epoch_id: int) -> bool:
+        """Whether any entry was ever allocated under this epoch id."""
+        return epoch_id in self._known_epochs
+
     def epoch_complete(self, epoch_id: int) -> bool:
-        """True when no resident entry of the epoch is still incomplete."""
+        """True when no resident entry of the epoch is still incomplete.
+
+        An epoch whose entries have all drained is complete; an epoch id
+        that was *never allocated* is a caller bug, not a complete epoch.
+
+        Raises:
+            KeyError: ``epoch_id`` was never allocated in this WPQ.
+        """
+        if epoch_id not in self._known_epochs:
+            raise KeyError(f"epoch {epoch_id} was never allocated in this WPQ")
         return all(
             entry.complete
             for entry in self._entries.values()

@@ -51,8 +51,28 @@ class RecoveryReport:
 
     @property
     def recovered(self) -> bool:
-        """Full success: plaintexts correct, MACs verify, BMT verifies."""
-        return self.bmt_ok and all(b.ok for b in self.blocks)
+        """Full success: plaintexts correct, MACs verify, BMT verifies.
+
+        A report that checked zero blocks is *not* "recovered" — it is
+        :attr:`vacuous`; use :attr:`consistent` for the verification-only
+        question where an empty image is legitimately consistent.
+        """
+        return self.bmt_ok and bool(self.blocks) and all(b.ok for b in self.blocks)
+
+    @property
+    def vacuous(self) -> bool:
+        """True when no blocks were checked (nothing to recover)."""
+        return not self.blocks
+
+    @property
+    def consistent(self) -> bool:
+        """Cryptographic verification only: BMT + MACs (vacuously true).
+
+        Unlike :attr:`recovered` this ignores the differential plaintext
+        comparison, so it answers "would the integrity machinery accept
+        this image?" — the axis on which silent corruption hides.
+        """
+        return self.bmt_ok and all(b.mac_ok for b in self.blocks)
 
     @property
     def mac_failures(self) -> List[int]:
@@ -79,7 +99,7 @@ class RecoveryReport:
         if not entry.mac_ok:
             failures.append("MAC")
         if failures:
-            parts.append("&".join(failures) + " failure")
+            parts.append(" & ".join(failures) + " failure")
         return ", ".join(parts) if parts else "Recovered"
 
 

@@ -9,7 +9,7 @@ specified items, and let the recovery checker observe the damage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Set
+from typing import Dict, Iterable, Set
 
 from repro.mem.wpq import TupleItem
 
@@ -21,16 +21,20 @@ class DropSpec:
     Attributes:
         persist_id: The victim persist.
         items: Tuple components that never reach NVM (e.g.
-            ``{TupleItem.MAC}`` reproduces Table I row 2).
+            ``{TupleItem.MAC}`` reproduces Table I row 2).  Any iterable
+            of :class:`TupleItem` is accepted and coerced to a
+            ``frozenset`` so the spec stays hashable and immutable.
     """
 
     persist_id: int
     items: frozenset
 
     def __post_init__(self) -> None:
-        bad = {i for i in self.items if not isinstance(i, TupleItem)}
+        items = frozenset(self.items)
+        bad = {i for i in items if not isinstance(i, TupleItem)}
         if bad:
             raise TypeError(f"items must be TupleItem values, got {bad}")
+        object.__setattr__(self, "items", items)
 
 
 class CrashInjector:
@@ -48,6 +52,19 @@ class CrashInjector:
             raise ValueError("specify at least one tuple item to drop")
         self._drops.setdefault(persist_id, set()).update(items)
         return self
+
+    def add_spec(self, spec: DropSpec) -> "CrashInjector":
+        """Apply a :class:`DropSpec`; empty specs are a no-op."""
+        if spec.items:
+            self.drop(spec.persist_id, *spec.items)
+        return self
+
+    @classmethod
+    def from_specs(cls, specs: Iterable[DropSpec]) -> "CrashInjector":
+        injector = cls()
+        for spec in specs:
+            injector.add_spec(spec)
+        return injector
 
     def survives(self, persist_id: int, item: TupleItem) -> bool:
         """Whether this persist's item reaches NVM despite the crash."""

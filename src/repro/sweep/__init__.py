@@ -6,6 +6,7 @@ See :mod:`repro.sweep.runner` for the process-pool runner,
 """
 
 from repro.sweep.cache import (
+    JSONCache,
     ResultCache,
     caching_disabled,
     code_version,
@@ -25,9 +26,11 @@ from repro.sweep.runner import (
     default_workers,
     run_jobs,
     run_matrix,
+    run_tasks,
 )
 
 __all__ = [
+    "JSONCache",
     "ResultCache",
     "SweepJob",
     "SweepReport",
@@ -41,6 +44,7 @@ __all__ = [
     "job_key",
     "run_jobs",
     "run_matrix",
+    "run_tasks",
     "trace_caching_disabled",
     "trace_key",
 ]

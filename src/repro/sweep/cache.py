@@ -94,19 +94,35 @@ def caching_disabled() -> bool:
     return os.environ.get("PLP_NO_RESULT_CACHE", "") not in ("", "0")
 
 
-class ResultCache:
-    """Directory of content-addressed :class:`SimResult` JSON files."""
+class JSONCache:
+    """Directory of content-addressed JSON payloads.
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_root()
+    Base class for every on-disk result store in the sweep layer: one
+    JSON file per entry under ``<root>/<key[:2]>/<key>.json``, written
+    atomically (write-then-rename).  Subclasses override
+    :meth:`_encode`/:meth:`_decode` to map their value type onto JSON.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
         self.hits = 0
         self.misses = 0
+
+    # -- value mapping (override in subclasses) -------------------------
+
+    def _encode(self, value):
+        return value
+
+    def _decode(self, payload):
+        return payload
+
+    # -- storage --------------------------------------------------------
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def get(self, key: str) -> Optional[SimResult]:
-        """Fetch a cached result; counts the hit/miss."""
+    def get(self, key: str):
+        """Fetch a cached value; counts the hit/miss."""
         path = self.path_for(key)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
@@ -114,16 +130,16 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
-        return result_from_dict(payload)
+        return self._decode(payload)
 
-    def put(self, key: str, result: SimResult) -> None:
-        """Store a result atomically (write-then-rename)."""
+    def put(self, key: str, value) -> None:
+        """Store a value atomically (write-then-rename)."""
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(result_to_dict(result), fh)
+                json.dump(self._encode(value), fh)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -145,4 +161,20 @@ class ResultCache:
         }
 
     def __repr__(self) -> str:
-        return f"ResultCache(root={str(self.root)!r}, hits={self.hits}, misses={self.misses})"
+        return (
+            f"{type(self).__name__}(root={str(self.root)!r}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class ResultCache(JSONCache):
+    """Directory of content-addressed :class:`SimResult` JSON files."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        super().__init__(root if root is not None else default_cache_root())
+
+    def _encode(self, value: SimResult) -> Dict:
+        return result_to_dict(value)
+
+    def _decode(self, payload: Dict) -> SimResult:
+        return result_from_dict(payload)

@@ -28,9 +28,9 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.sweep.cache import ResultCache, caching_disabled, job_key
+from repro.sweep.cache import JSONCache, ResultCache, caching_disabled, job_key
 from repro.sweep.trace_cache import (
     TraceCache,
     default_trace_cache_root,
@@ -209,6 +209,97 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+def run_tasks(
+    specs: Sequence[Any],
+    keys: Sequence[str],
+    execute: Callable[[Any], Any],
+    workers: Optional[int] = None,
+    cache: Optional[JSONCache] = None,
+) -> Tuple[List[Any], SweepReport]:
+    """Generic deterministic fan-out: dedupe, cache, then execute.
+
+    The engine behind :func:`run_jobs` (simulation sweeps) and the
+    crash-injection campaign runner.  ``execute`` must be a picklable
+    module-level callable taking one spec; specs sharing a key are
+    executed once.  Results are installed by input index, so the output
+    order — and, for value types that round-trip through the cache's
+    JSON encoding, the bytes — are identical to a sequential run.
+
+    Args:
+        specs: Task specs, in output order.
+        keys: Content-addressed key per spec (``len(keys) == len(specs)``).
+        execute: Module-level callable run per unique pending spec.
+        workers: Process count (``None``: ``PLP_SWEEP_JOBS`` or CPU
+            count; ``1`` runs inline with no pool).
+        cache: Optional :class:`~repro.sweep.cache.JSONCache`; hits skip
+            execution entirely.
+
+    Returns:
+        ``(results, report)`` with ``results[i]`` the outcome of
+        ``specs[i]``.
+    """
+    if len(keys) != len(specs):
+        raise ValueError("keys must parallel specs")
+    if workers is None:
+        workers = default_workers()
+    workers = max(1, workers)
+
+    report = SweepReport(jobs=len(specs), workers=workers)
+    start = time.perf_counter()
+
+    results: List[Any] = [None] * len(specs)
+    # Deduplicate identical specs and resolve cache hits first.
+    pending: "OrderedDict[str, List[int]]" = OrderedDict()
+    pending_spec: Dict[str, Any] = {}
+    for index, (spec, key) in enumerate(zip(specs, keys)):
+        if key in pending:
+            pending[key].append(index)
+            continue
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                results[index] = cached
+                report.cache_hits += 1
+                continue
+            report.cache_misses += 1
+        pending[key] = [index]
+        pending_spec[key] = spec
+
+    def _install(key: str, result: Any) -> None:
+        for index in pending[key]:
+            results[index] = result
+        if cache is not None:
+            cache.put(key, result)
+
+    if pending:
+        report.executed = len(pending)
+        if workers == 1 or len(pending) == 1:
+            for key, spec in pending_spec.items():
+                _install(key, execute(spec))
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending)), mp_context=_mp_context()
+            ) as pool:
+                futures = {
+                    key: pool.submit(execute, spec)
+                    for key, spec in pending_spec.items()
+                }
+                for key, future in futures.items():
+                    _install(key, future.result())
+
+    report.wall_seconds = time.perf_counter() - start
+    if any(r is None for r in results):
+        missing = [i for i, r in enumerate(results) if r is None]
+        raise RuntimeError(f"sweep tasks {missing} produced no result")
+    return results, report
+
+
+def _execute_pair(pair: Tuple[SweepJob, SystemConfig]) -> SimResult:
+    """Worker entry point for :func:`run_jobs` specs."""
+    job, config = pair
+    return _execute(job, config)
+
+
 def run_jobs(
     jobs: Sequence[SweepJob],
     workers: Optional[int] = None,
@@ -230,10 +321,6 @@ def run_jobs(
         ``(results, report)`` with ``results[i]`` the outcome of
         ``jobs[i]`` — bit-identical to running each job sequentially.
     """
-    if workers is None:
-        workers = default_workers()
-    workers = max(1, workers)
-
     result_cache: Optional[ResultCache] = None
     if not caching_disabled():
         if isinstance(cache, ResultCache):
@@ -243,56 +330,23 @@ def run_jobs(
         elif isinstance(cache, (str, os.PathLike)):
             result_cache = ResultCache(cache)
 
-    report = SweepReport(jobs=len(jobs), workers=workers)
-    start = time.perf_counter()
-
-    results: List[Optional[SimResult]] = [None] * len(jobs)
-    # Deduplicate identical jobs and resolve cache hits first.
-    pending: "OrderedDict[str, List[int]]" = OrderedDict()
-    pending_payload: Dict[str, Tuple[SweepJob, SystemConfig]] = {}
-    for index, job in enumerate(jobs):
+    specs: List[Tuple[SweepJob, SystemConfig]] = []
+    keys: List[str] = []
+    for job in jobs:
         config = job.resolved_config(base_config)
-        key = job.key(base_config)
-        if key in pending:
-            pending[key].append(index)
-            continue
-        if result_cache is not None:
-            cached = result_cache.get(key)
-            if cached is not None:
-                results[index] = cached
-                report.cache_hits += 1
-                continue
-            report.cache_misses += 1
-        pending[key] = [index]
-        pending_payload[key] = (job, config)
-
-    def _install(key: str, result: SimResult) -> None:
-        for index in pending[key]:
-            results[index] = result
-        if result_cache is not None:
-            result_cache.put(key, result)
-
-    if pending:
-        report.executed = len(pending)
-        if workers == 1 or len(pending) == 1:
-            for key, (job, config) in pending_payload.items():
-                _install(key, _execute(job, config))
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending)), mp_context=_mp_context()
-            ) as pool:
-                futures = {
-                    key: pool.submit(_execute, job, config)
-                    for key, (job, config) in pending_payload.items()
-                }
-                for key, future in futures.items():
-                    _install(key, future.result())
-
-    report.wall_seconds = time.perf_counter() - start
-    if any(r is None for r in results):
-        missing = [i for i, r in enumerate(results) if r is None]
-        raise RuntimeError(f"sweep jobs {missing} produced no result")
-    return results, report
+        specs.append((job, config))
+        keys.append(
+            job_key(
+                job.benchmark,
+                job.kilo_instructions,
+                job.seed,
+                job.warmup_fraction,
+                config,
+            )
+        )
+    return run_tasks(
+        specs, keys, _execute_pair, workers=workers, cache=result_cache
+    )
 
 
 def run_matrix(

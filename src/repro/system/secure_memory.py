@@ -354,7 +354,10 @@ class FunctionalSecureMemory:
             expected = self._expected_durable()
         checker = RecoveryChecker(self.geometry, self.keys)
         report = checker.check(self.nvm, self.durable_root, expected)
-        if report.recovered:
+        # Rebuild on cryptographic consistency: a vacuous report (nothing
+        # was expected durable) with a verifying BMT is a legitimate
+        # post-crash state, not a recovery failure.
+        if report.recovered or (report.vacuous and report.bmt_ok):
             self._rebuild_volatile()
         return report
 
@@ -382,6 +385,11 @@ class FunctionalSecureMemory:
     @property
     def pending_persists(self) -> int:
         return len(self._journal)
+
+    @property
+    def journal(self) -> Tuple[PersistRecord, ...]:
+        """Read-only view of the pending persist journal (issue order)."""
+        return tuple(self._journal)
 
     @property
     def committed_state(self) -> Dict[int, bytes]:

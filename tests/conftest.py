@@ -21,6 +21,21 @@ def _isolated_trace_cache(tmp_path_factory):
         os.environ["PLP_TRACE_CACHE"] = previous
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_campaign_cache(tmp_path_factory):
+    """Keep the on-disk campaign cache out of ~/.cache during tests."""
+    import os
+
+    root = tmp_path_factory.mktemp("campaign-cache")
+    previous = os.environ.get("PLP_CAMPAIGN_CACHE")
+    os.environ["PLP_CAMPAIGN_CACHE"] = str(root)
+    yield
+    if previous is None:
+        os.environ.pop("PLP_CAMPAIGN_CACHE", None)
+    else:
+        os.environ["PLP_CAMPAIGN_CACHE"] = previous
+
+
 @pytest.fixture
 def keys():
     return KeySchedule(b"test-root-key")

@@ -1,0 +1,295 @@
+"""Tests for the crash-injection campaign engine (grid, engine, runner,
+analysis) and its acceptance properties: compliant schemes never fail,
+Tables I & II regenerate from campaign cells, and parallel results are
+bit-identical to sequential runs — cold and warm cache."""
+
+import pytest
+
+from repro.analysis.campaign import (
+    CampaignViolation,
+    summarize,
+    table1,
+    table2,
+    verify_campaign,
+)
+from repro.campaign import (
+    CAMPAIGN_SCHEMES,
+    DROP_SUBSETS,
+    SINGLETON_SUBSETS,
+    CampaignCache,
+    CampaignCell,
+    Scenario,
+    enumerate_grid,
+    journal_plan,
+    run_campaign,
+    run_scenario,
+    scenario_key,
+    semantics_for,
+)
+from repro.campaign.engine import (
+    OUTCOME_DETECTED,
+    OUTCOME_RECOVERED,
+    OUTCOME_SILENT_CORRUPTION,
+)
+from repro.sweep import code_version
+
+
+# ----------------------------------------------------------------------
+# grid
+# ----------------------------------------------------------------------
+
+
+def test_drop_subsets_cover_the_powerset():
+    assert len(DROP_SUBSETS) == 16
+    assert () in DROP_SUBSETS
+    assert len(set(DROP_SUBSETS)) == 16
+    assert len(SINGLETON_SUBSETS) == 5  # empty + one per tuple item
+
+
+def test_scenario_canonicalizes_drops():
+    a = Scenario("unordered", "overwrite", 0, ("mac", "data"))
+    b = Scenario("unordered", "overwrite", 0, ("data", "mac", "mac"))
+    assert a == b
+    assert a.drops == ("data", "mac")
+
+
+def test_scenario_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        Scenario("nope", "overwrite", 0)
+    with pytest.raises(ValueError):
+        Scenario("sp", "nope", 0)
+    with pytest.raises(ValueError):
+        Scenario("sp", "overwrite", 0, ("bogus_item",))
+    with pytest.raises(ValueError):
+        Scenario("sp", "overwrite", -1, ("mac",))  # drops need a victim
+
+
+def test_grid_enumeration_is_deterministic():
+    assert enumerate_grid() == enumerate_grid()
+    grid = enumerate_grid()
+    assert len(grid) == len(set(grid))  # scenarios are hashable + unique
+
+
+def test_grid_covers_every_persist_boundary_and_subset():
+    grid = enumerate_grid(schemes=["sp"], workloads=["overwrite"])
+    persists = len(journal_plan("sp", "overwrite"))
+    assert persists == 2
+    # 1 all-complete boundary + per victim all 16 subsets.
+    assert len(grid) == 1 + persists * 16
+
+
+def test_secure_wb_journals_nothing():
+    assert journal_plan("secure_wb", "epoch_mix") == ()
+
+
+def test_epoch_persistency_collapses_same_block_stores():
+    # overwrite hits one block twice in one epoch -> a single persist.
+    assert len(journal_plan("o3", "overwrite")) == 1
+    assert len(journal_plan("sp", "overwrite")) == 2
+
+
+def test_scenario_key_depends_on_every_dimension():
+    code = code_version()
+    base = Scenario("sp", "overwrite", 0, ("mac",))
+    keys = {
+        scenario_key(base, code),
+        scenario_key(Scenario("o3", "overwrite", 0, ("mac",)), code),
+        scenario_key(Scenario("sp", "ordered_pair", 0, ("mac",)), code),
+        scenario_key(Scenario("sp", "overwrite", 1, ("mac",)), code),
+        scenario_key(Scenario("sp", "overwrite", 0, ("data",)), code),
+        scenario_key(base, "other-code"),
+    }
+    assert len(keys) == 6
+
+
+def test_semantics_compliance_matches_scheme_registry():
+    for scheme in CAMPAIGN_SCHEMES:
+        sem = semantics_for(scheme)
+        assert sem.compliant == sem.scheme.crash_recoverable
+
+
+# ----------------------------------------------------------------------
+# engine: single cells
+# ----------------------------------------------------------------------
+
+
+def test_compliant_scheme_recovers_mid_gather_drop():
+    cell = run_scenario(Scenario("sp", "overwrite", 1, ("mac",)))
+    assert cell.classification == OUTCOME_RECOVERED
+    assert cell.compliant
+    # 2SP invalidated the victim: only the older persist is durable.
+    assert cell.persisted == [0]
+    assert cell.invalidated == [1]
+    assert not cell.problems
+
+
+def test_unordered_reproduces_table1_rows():
+    expected = {
+        "root_ack": "BMT failure",
+        "mac": "MAC failure",
+        "counter": "Wrong plaintext, BMT & MAC failure",
+        "data": "Wrong plaintext, MAC failure",
+    }
+    for item, outcome in expected.items():
+        cell = run_scenario(Scenario("unordered", "overwrite", 1, (item,)))
+        assert cell.block_outcome(0) == outcome
+        assert cell.classification == OUTCOME_DETECTED
+
+
+def test_unordered_whole_tuple_loss_is_silent_corruption():
+    """Losing the entire tuple rolls the block back consistently: the
+    integrity machinery accepts the stale value — invisible data loss,
+    the failure mode only ordering + intent tracking can surface."""
+    cell = run_scenario(
+        Scenario("unordered", "overwrite", 1, ("counter", "data", "mac", "root_ack"))
+    )
+    assert cell.classification == OUTCOME_SILENT_CORRUPTION
+    assert cell.consistent and not cell.intent_ok
+
+
+def test_secure_wb_cell_is_vacuously_recovered():
+    cell = run_scenario(Scenario("secure_wb", "overwrite", -1))
+    assert cell.classification == OUTCOME_RECOVERED
+    assert cell.vacuous
+    assert cell.total_persists == 0
+
+
+def test_coalescing_boundary_holds_leading_persist():
+    """With paired coalescing the leading persist's root ack is
+    delegated: at a boundary crash right after it, nothing is durable."""
+    cell = run_scenario(Scenario("coalescing", "ordered_pair", 0))
+    assert cell.classification == OUTCOME_RECOVERED
+    assert cell.persisted == []  # still waiting for the trailing root ack
+    cell = run_scenario(Scenario("coalescing", "ordered_pair", -1))
+    assert cell.persisted == [0, 1]
+
+
+def test_open_epoch_tail_store_is_not_expected_durable():
+    cell = run_scenario(Scenario("o3", "open_epoch", -1))
+    assert cell.classification == OUTCOME_RECOVERED
+    # Only the closed epoch's two persists exist in the journal.
+    assert cell.total_persists == 2
+
+
+def test_victim_out_of_range_raises():
+    with pytest.raises(ValueError):
+        run_scenario(Scenario("sp", "overwrite", 99, ("mac",)))
+
+
+# ----------------------------------------------------------------------
+# full-grid acceptance
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def full_grid_cells():
+    grid = enumerate_grid()
+    cells, report = run_campaign(grid, workers=1, cache=False)
+    return grid, cells, report
+
+
+def test_compliant_schemes_never_fail_anywhere(full_grid_cells):
+    _, cells, _ = full_grid_cells
+    for cell in cells:
+        if cell.compliant:
+            assert cell.classification == OUTCOME_RECOVERED, (
+                cell.scheme,
+                cell.workload,
+                cell.victim,
+                cell.drops,
+            )
+        assert not cell.problems
+
+
+def test_zero_silent_corruption_in_compliant_schemes(full_grid_cells):
+    _, cells, _ = full_grid_cells
+    silent = [c for c in cells if c.compliant and c.consistent and not c.intent_ok]
+    assert silent == []
+
+
+def test_campaign_verify_passes_on_full_grid(full_grid_cells):
+    _, cells, _ = full_grid_cells
+    verify_campaign(cells)
+
+
+def test_tables_regenerate_from_campaign(full_grid_cells):
+    _, cells, _ = full_grid_cells
+    t1 = table1(cells).render()
+    assert "NO" not in t1 and "<missing cell>" not in t1
+    t2 = table2(cells).render()
+    assert "NO" not in t2 and "<missing cell>" not in t2
+    summary = summarize(cells).render()
+    assert "unordered" in summary
+
+
+def test_verify_flags_forged_silent_corruption(full_grid_cells):
+    _, cells, _ = full_grid_cells
+    import copy
+
+    forged = copy.deepcopy(list(cells))
+    victim = next(c for c in forged if c.compliant)
+    victim.intent_ok = False
+    victim.classification = OUTCOME_SILENT_CORRUPTION
+    with pytest.raises(CampaignViolation, match="SILENT CORRUPTION"):
+        verify_campaign(forged)
+
+
+def test_verify_flags_table_mismatch(full_grid_cells):
+    _, cells, _ = full_grid_cells
+    import copy
+
+    forged = copy.deepcopy(list(cells))
+    row = next(
+        c
+        for c in forged
+        if c.scheme == "unordered"
+        and c.workload == "overwrite"
+        and c.victim == c.total_persists - 1
+        and c.drops == ["mac"]
+    )
+    for block in row.blocks:
+        block["outcome"] = "Recovered"
+    with pytest.raises(CampaignViolation, match="Table I"):
+        verify_campaign(forged)
+
+
+# ----------------------------------------------------------------------
+# runner: parallel + cache bit-identity
+# ----------------------------------------------------------------------
+
+
+def test_parallel_matches_sequential_cold_and_warm(tmp_path, full_grid_cells):
+    grid, sequential_cells, _ = full_grid_cells
+    subset = grid[:: max(1, len(grid) // 60)]  # spread across schemes
+    expected = [sequential_cells[grid.index(s)] for s in subset]
+
+    cold_cache = CampaignCache(tmp_path / "cold")
+    parallel_cells, report = run_campaign(subset, workers=4, cache=cold_cache)
+    assert parallel_cells == expected
+    assert report.cache_hits == 0
+
+    warm_cells, warm_report = run_campaign(subset, workers=4, cache=cold_cache)
+    assert warm_cells == expected
+    assert warm_report.cache_hits == len(subset)
+    assert warm_report.executed == 0
+
+
+def test_cache_round_trip_preserves_cells(tmp_path):
+    cache = CampaignCache(tmp_path)
+    cell = run_scenario(Scenario("unordered", "ordered_pair", 0, ("counter",)))
+    key = scenario_key(
+        Scenario("unordered", "ordered_pair", 0, ("counter",)), code_version()
+    )
+    cache.put(key, cell)
+    loaded = cache.get(key)
+    assert isinstance(loaded, CampaignCell)
+    assert loaded == cell
+
+
+def test_duplicate_scenarios_execute_once(tmp_path):
+    scenario = Scenario("sp", "overwrite", 0, ("mac",))
+    cells, report = run_campaign(
+        [scenario, scenario, scenario], workers=1, cache=CampaignCache(tmp_path)
+    )
+    assert cells[0] == cells[1] == cells[2]
+    assert report.executed == 1

@@ -102,3 +102,41 @@ def test_figure_renders_bars(capsys):
 def test_figure_unknown_name_rejected(capsys):
     with pytest.raises(SystemExit):
         run_cli(capsys, "figure", "fig99")
+
+
+def test_crash_campaign_quick_grid(capsys, tmp_path):
+    out_path = tmp_path / "campaign.json"
+    code, out, _ = run_cli(
+        capsys,
+        "crash-campaign",
+        "--drops",
+        "singletons",
+        "--no-cache",
+        "--out",
+        str(out_path),
+    )
+    assert code == 0
+    assert "Crash-injection campaign summary" in out
+    assert "Table I" in out and "Table II" in out
+    assert "verify: zero silent corruptions" in out
+    import json
+
+    payload = json.loads(out_path.read_text())
+    assert payload["report"]["jobs"] == len(payload["cells"]) > 0
+
+
+def test_crash_campaign_filtered_schemes_skips_tables(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "crash-campaign",
+        "--schemes",
+        "sp,pipeline",
+        "--workloads",
+        "overwrite",
+        "--drops",
+        "singletons",
+        "--no-cache",
+    )
+    assert code == 0
+    assert "Table I" not in out  # unordered cells absent: tables skipped
+    assert "verify: zero silent corruptions" in out

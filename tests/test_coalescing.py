@@ -136,3 +136,19 @@ def test_spatial_locality_improves_savings(unit, small_geometry):
     assert CoalescingUnit.total_updates(local) < CoalescingUnit.total_updates(
         scattered
     )
+
+
+def test_resolve_delegate_follows_chain(unit):
+    persists = unit.coalesce_epoch([(0, 0), (1, 1)])
+    assert CoalescingUnit.resolve_delegate(persists, 0) == 1
+    assert CoalescingUnit.resolve_delegate(persists, 1) == 1
+
+
+def test_resolve_delegate_unknown_persist_raises(unit):
+    """Regression: an unknown id used to escape as a bare KeyError with
+    no context; it now raises a KeyError naming the epoch membership."""
+    persists = unit.coalesce_epoch([(0, 0), (1, 1)])
+    with pytest.raises(KeyError, match="not part of this coalesced epoch"):
+        CoalescingUnit.resolve_delegate(persists, 42)
+    with pytest.raises(KeyError, match="not part of this coalesced epoch"):
+        CoalescingUnit.resolve_delegate([], 0)

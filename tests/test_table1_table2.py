@@ -62,7 +62,7 @@ def test_table1_row3_missing_counter_gives_wrong_plaintext_and_failures():
     assert not report.bmt_ok
     assert not report.blocks[0].mac_ok
     assert not report.blocks[0].plaintext_correct
-    assert report.outcome_row(0) == "Wrong plaintext, BMT&MAC failure"
+    assert report.outcome_row(0) == "Wrong plaintext, BMT & MAC failure"
 
 
 def test_table1_row4_missing_data_gives_wrong_plaintext_and_mac_failure():

@@ -88,6 +88,31 @@ def test_epoch_completion_tracking():
     assert wpq.epoch_complete(0)
 
 
+def test_epoch_complete_rejects_unknown_epoch():
+    """Regression: a never-allocated epoch id used to read as complete."""
+    wpq = WritePendingQueue()
+    full_delivery(wpq, 0, epoch=0, locked=False)
+    with pytest.raises(KeyError):
+        wpq.epoch_complete(7)
+    assert wpq.epoch_known(0)
+    assert not wpq.epoch_known(7)
+
+
+def test_epoch_complete_on_empty_wpq_rejects_any_epoch():
+    wpq = WritePendingQueue()
+    with pytest.raises(KeyError):
+        wpq.epoch_complete(0)
+
+
+def test_epoch_stays_known_after_drain():
+    """A fully drained epoch is complete — distinct from never existing."""
+    wpq = WritePendingQueue()
+    full_delivery(wpq, 0, epoch=0, locked=False)
+    wpq.drain_completed()
+    assert len(wpq) == 0
+    assert wpq.epoch_complete(0)
+
+
 def test_unlock_epoch_drains_gathered_items():
     wpq = WritePendingQueue()
     wpq.allocate(0, epoch_id=1, locked=True)
@@ -120,6 +145,21 @@ def test_crash_preserves_unlocked_drained_items():
     assert [e.persist_id for e in persisted] == [0]
     assert persisted[0].drained == {TupleItem.DATA}
     assert invalidated == []
+
+
+def test_crash_invalidates_unlocked_entry_with_nothing_drained():
+    """An unlocked entry that gathered only the root ack (or nothing)
+    has no durable components: it is invalidated, not persisted."""
+    wpq = WritePendingQueue()
+    wpq.allocate(0, epoch_id=0, locked=False)
+    wpq.ack_root(0)  # root ack never drains to NVM
+    wpq.allocate(1, epoch_id=0, locked=False)  # nothing delivered at all
+    persisted, invalidated = wpq.crash_flush()
+    assert persisted == []
+    assert sorted(e.persist_id for e in invalidated) == [0, 1]
+    assert all(not e.drained for e in invalidated)
+    # The arrived set survives the flush for post-mortem inspection.
+    assert TupleItem.ROOT_ACK in invalidated[0].arrived
 
 
 def test_payloads_travel_with_items():
