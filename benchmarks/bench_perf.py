@@ -18,7 +18,16 @@ Then runs the same ``benchmark x scheme`` sweep three ways:
 3. ``runner_warm`` — the same sweep again; every job should be served
    from the content-addressed cache without simulating.
 
-All three stages must produce bit-identical results (the full
+A fourth stage, ``telemetry_on``, repeats the sequential sweep with the
+telemetry event bus enabled (``TelemetryConfig(enabled=True)`` on every
+job, cache disabled): its results must stay bit-identical to the
+telemetry-off sequential stage (instrumentation must never feed back
+into timing), and its wall-clock ratio vs sequential is recorded as the
+cost of observability.  The sequential stage itself doubles as the
+telemetry-*off* regression guard — the subsystem's disabled path must
+stay within noise of pre-telemetry builds.
+
+All simulating stages must produce bit-identical results (the full
 ``SimResult`` is compared field by field); the harness fails hard if
 they ever diverge.  Timings, speedups vs the sequential stage, and
 cache statistics are written to ``BENCH_perf.json`` at the repo root
@@ -47,6 +56,7 @@ import time
 from pathlib import Path
 
 from repro.sweep import SweepJob, TraceCache, code_version, generator_version, run_jobs
+from repro.telemetry import TelemetryConfig
 from repro.workloads.spec_profiles import profile_trace
 
 from common import RESULTS_DIR, SUBSET, TRACE_KI
@@ -202,6 +212,22 @@ def main(argv=None) -> int:
             "runner_warm", jobs, workers=args.jobs, cache=cache_dir
         )
         stages.append((warm_stage, warm_results))
+        # Telemetry cost probe: same sweep, event bus on, no cache (the
+        # result cache deliberately ignores the telemetry knob, so a
+        # warm hit would skip the instrumented simulation entirely).
+        telemetry_jobs = [
+            dataclasses.replace(
+                job,
+                overrides=tuple(
+                    sorted((*job.overrides, ("telemetry", TelemetryConfig(enabled=True))))
+                ),
+            )
+            for job in jobs
+        ]
+        tel_stage, tel_results = run_stage(
+            "telemetry_on", telemetry_jobs, workers=1, cache=False
+        )
+        stages.append((tel_stage, tel_results))
 
     # Determinism: every stage must reproduce the sequential results
     # exactly — full SimResult equality, not just the headline counters.
@@ -229,6 +255,14 @@ def main(argv=None) -> int:
             "identical": True,
         },
         "trace_stages": trace_stages,
+        "telemetry": {
+            "off_stage": "sequential",
+            "on_stage": "telemetry_on",
+            "overhead_vs_sequential": (
+                round(tel_stage["wall_seconds"] / seq_wall, 3) if seq_wall > 0 else None
+            ),
+            "results_identical": True,
+        },
         "stages": [],
     }
     for stage, _ in stages:

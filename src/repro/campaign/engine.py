@@ -163,8 +163,15 @@ def _delivery_plan(
     ]
 
 
-def run_scenario(scenario: Scenario) -> CampaignCell:
-    """Crash, recover, and classify one grid cell."""
+def run_scenario(scenario: Scenario, telemetry=None) -> CampaignCell:
+    """Crash, recover, and classify one grid cell.
+
+    Args:
+        scenario: The grid cell to run.
+        telemetry: Optional :class:`~repro.telemetry.bus.Telemetry`; the
+            campaign's WPQ records its enqueue/release/invalidate events
+            against the bus's logical clock.
+    """
     sem = semantics_for(scenario.scheme)
     mem = build_memory(sem)
     replay(mem, WORKLOADS[scenario.workload])
@@ -178,7 +185,7 @@ def run_scenario(scenario: Scenario) -> CampaignCell:
     drops = set(scenario.drop_items)
 
     # ---- drive a real WPQ through the power failure ------------------
-    wpq = WritePendingQueue(capacity=max(1, n))
+    wpq = WritePendingQueue(capacity=max(1, n), telemetry=telemetry)
     arrived = _delivery_plan(sem, journal, scenario.victim, drops, mem.geometry)
     for p, record in enumerate(journal):
         wpq.allocate(p, epoch_id=record.epoch_id, locked=sem.atomic)

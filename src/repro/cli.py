@@ -287,6 +287,41 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Telemetry timeline: occupancy tables + Perfetto/JSONL export."""
+    from repro.analysis.timeline import run_timeline
+    from repro.telemetry.export import render_timeline, write_chrome_trace, write_jsonl
+
+    if args.benchmark not in SPEC_PROFILES:
+        print(f"unknown benchmark {args.benchmark!r}; see `plp-repro list`", file=sys.stderr)
+        return 2
+    schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    report = run_timeline(
+        args.benchmark,
+        schemes=schemes,
+        kilo_instructions=args.ki,
+        seed=args.seed,
+    )
+    print(report.occupancy_table())
+    print()
+    print(report.level_table())
+    if args.render:
+        for timeline in report.timelines:
+            print()
+            print(f"[{timeline.scheme}]")
+            print(render_timeline(timeline.telemetry, width=args.width))
+    if args.export == "chrome":
+        out = args.out or f"timeline-{args.benchmark}.trace.json"
+        count = write_chrome_trace(out, report.telemetries())
+        print(f"\nwrote {out} ({count:,} trace events; open in Perfetto / about://tracing)")
+    elif args.export == "jsonl":
+        for timeline in report.timelines:
+            out = (args.out or f"timeline-{args.benchmark}") + f".{timeline.scheme}.jsonl"
+            count = write_jsonl(out, timeline.telemetry)
+            print(f"wrote {out} ({count:,} lines)")
+    return 0
+
+
 def cmd_rebuild_time(args: argparse.Namespace) -> int:
     config = SystemConfig()
     model = RecoveryTimeModel(config.geometry(), mac_latency=config.mac_latency)
@@ -387,6 +422,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--out", default=None, help="write campaign JSON here")
     campaign.set_defaults(func=cmd_crash_campaign)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="telemetry timeline: BMT/WPQ occupancy tables and Perfetto export",
+    )
+    timeline.add_argument("benchmark", nargs="?", default="gamess", help="Table V benchmark name")
+    timeline.add_argument(
+        "--schemes",
+        default="sp,pipeline",
+        help="comma-separated scheme list (default: sp,pipeline)",
+    )
+    timeline.add_argument("--ki", type=int, default=10, help="trace length in kilo-instructions")
+    timeline.add_argument("--seed", type=int, default=2020)
+    timeline.add_argument(
+        "--export",
+        choices=["none", "chrome", "jsonl"],
+        default="none",
+        help="write the event streams (chrome = Perfetto-loadable JSON)",
+    )
+    timeline.add_argument("--out", default=None, help="export path (default: timeline-<bench>...)")
+    timeline.add_argument(
+        "--render", action="store_true", help="print per-track ASCII occupancy strips"
+    )
+    timeline.add_argument("--width", type=int, default=72, help="ASCII strip width")
+    timeline.set_defaults(func=cmd_timeline)
 
     rebuild = sub.add_parser("rebuild-time", help="estimate post-crash BMT rebuild time")
     rebuild.add_argument("--pages", type=int, default=4096, help="touched pages")

@@ -20,9 +20,13 @@ Two policies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.crypto.bmt import BMTGeometry
+from repro.telemetry.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import Telemetry
 
 POLICIES = ("paired", "chained")
 
@@ -53,11 +57,20 @@ class CoalescedPersist:
 class CoalescingUnit:
     """Applies LCA coalescing to an epoch's persist sequence."""
 
-    def __init__(self, geometry: BMTGeometry, policy: str = "paired") -> None:
+    def __init__(
+        self,
+        geometry: BMTGeometry,
+        policy: str = "paired",
+        telemetry: "Optional[Telemetry]" = None,
+    ) -> None:
         if policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
         self.geometry = geometry
         self.policy = policy
+        self.telemetry = telemetry
+        self.now = 0
+        """Cycle stamped onto delegation events; the owning scoreboard
+        updates it before each :meth:`coalesce_epoch` call."""
 
     def coalesce_epoch(
         self, persists: Sequence[Tuple[int, int]]
@@ -103,8 +116,21 @@ class CoalescingUnit:
             # Leading already truncated below the LCA by an earlier
             # pairing; nothing further to cut.
             return
+        removed = len(leading.path) - leading.path.index(lca)
         leading.path = leading.path[: leading.path.index(lca)]
         leading.delegated_to = trailing.persist_id
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                EventKind.COALESCE_DELEGATE,
+                self.now,
+                "coalesce",
+                ident=leading.persist_id,
+                args={
+                    "to": trailing.persist_id,
+                    "lca": lca,
+                    "updates_removed": removed,
+                },
+            )
 
     @staticmethod
     def total_updates(persists: Sequence[CoalescedPersist]) -> int:

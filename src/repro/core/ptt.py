@@ -23,7 +23,12 @@ Storage cost (paper §VI): 77 bits/entry, 616 B for 64 entries.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional
+
+from repro.telemetry.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import Telemetry
 
 ENTRY_BITS = 77
 """Paper-reported PTT entry width: EID(6) + V/R/P(3) + Lvl(4) + WPQptr(32) +
@@ -74,13 +79,27 @@ class PTTFullError(RuntimeError):
 class PersistTrackingTable:
     """A bounded, FIFO circular buffer of :class:`PTTEntry`."""
 
-    def __init__(self, capacity: int = 64) -> None:
+    def __init__(
+        self,
+        capacity: int = 64,
+        telemetry: "Optional[Telemetry]" = None,
+        clock: Optional[Callable[[], int]] = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("PTT capacity must be positive")
         self.capacity = capacity
         self._entries: List[PTTEntry] = []
         self.allocated_total = 0
         self.retired_total = 0
+        self._telemetry = telemetry
+        self._clock = clock
+
+    def _emit(self, kind: EventKind, persist_id: int) -> None:
+        tel = self._telemetry
+        if tel is not None:
+            now = self._clock() if self._clock is not None else tel.clock()
+            tel.instant(kind, now, "ptt", ident=persist_id)
+            tel.sample("ptt.utilization", now, len(self._entries) / self.capacity)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -128,6 +147,8 @@ class PersistTrackingTable:
         )
         self._entries.append(entry)
         self.allocated_total += 1
+        if self._telemetry is not None:
+            self._emit(EventKind.PTT_ALLOCATE, persist_id)
         return entry
 
     def head(self) -> Optional[PTTEntry]:
@@ -154,7 +175,10 @@ class PersistTrackingTable:
                 f"head persist {head.persist_id} has not updated the BMT root"
             )
         self.retired_total += 1
-        return self._entries.pop(0)
+        retired = self._entries.pop(0)
+        if self._telemetry is not None:
+            self._emit(EventKind.PTT_RETIRE, retired.persist_id)
+        return retired
 
     def retire_ready_heads(self) -> List[PTTEntry]:
         """Retire every persisted entry at the head of the buffer."""

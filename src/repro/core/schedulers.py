@@ -25,12 +25,16 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.coalescing import CoalescedPersist, CoalescingUnit
 from repro.core.schemes import UpdateScheme
 from repro.crypto.bmt import BMTGeometry
 from repro.mem.metadata_cache import MetadataCaches
+from repro.telemetry.events import EventKind, level_track
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import Telemetry
 
 
 @dataclass
@@ -73,6 +77,16 @@ class OccupancyRing:
             release_time = self._releases[-1]
         self._releases.append(release_time)
 
+    def occupancy(self, now: int) -> int:
+        """Entries still resident at cycle ``now``.
+
+        Read-only on purpose: telemetry probes sample at times that may
+        run ahead of the admit clock, and popping released slots here
+        would perturb a later :meth:`admit` — observation must not feed
+        back into timing.
+        """
+        return sum(1 for release in self._releases if release > now)
+
 
 class ScoreboardBase:
     """Shared path-cost logic for all scoreboard engines."""
@@ -83,14 +97,42 @@ class ScoreboardBase:
         mac_latency: int = 40,
         bmt_miss_latency: int = 240,
         metadata: Optional[MetadataCaches] = None,
+        telemetry: "Optional[Telemetry]" = None,
     ) -> None:
         self.geometry = geometry
         self.mac_latency = mac_latency
         self.bmt_miss_latency = bmt_miss_latency
         self.metadata = metadata
+        self.telemetry = telemetry
         self.node_update_count = 0
         self.bmt_cache_misses = 0
         self.timings: List[PersistTiming] = []
+
+    def _emit_serial_spans(
+        self, persist_id: int, start: int, costs: Sequence[int]
+    ) -> None:
+        """Emit one BMT level span per node of a serially-walked path.
+
+        The path runs leaf (level = depth) toward the root (level 0);
+        each node's update occupies its level for ``costs[i]`` cycles
+        starting when the previous node finished.
+        """
+        tel = self.telemetry
+        if tel is None:
+            return
+        emit = tel.emit
+        level = self.geometry.depth
+        t = start
+        for cost in costs:
+            emit(
+                EventKind.BMT_LEVEL_SPAN,
+                t,
+                level_track(level),
+                ident=persist_id,
+                duration=cost,
+            )
+            t += cost
+            level -= 1
 
     def _level_costs(self, path: Sequence[int]) -> List[int]:
         """Per-node update cost (MAC latency + any BMT cache miss)."""
@@ -141,6 +183,7 @@ class SequentialScoreboard(ScoreboardBase):
         start = max(arrival, self._engine_free)
         completion = start + sum(costs)
         self._engine_free = completion
+        self._emit_serial_spans(persist_id, start, costs)
         return self._record(persist_id, arrival, completion, len(path))
 
     def engine_busy_until(self) -> int:
@@ -160,6 +203,7 @@ class PipelineScoreboard(ScoreboardBase):
         costs = self._level_costs(path)
         t = arrival
         level_done = self._level_done
+        tel = self.telemetry
         # The path runs leaf (depth) to root (0), so the level of
         # path[i] is simply depth - i — no label arithmetic needed.
         level = self.geometry.depth
@@ -167,6 +211,14 @@ class PipelineScoreboard(ScoreboardBase):
             start = max(t, level_done.get(level, 0))
             t = start + cost
             level_done[level] = t
+            if tel is not None:
+                tel.emit(
+                    EventKind.BMT_LEVEL_SPAN,
+                    start,
+                    level_track(level),
+                    ident=persist_id,
+                    duration=cost,
+                )
             level -= 1
         return self._record(persist_id, arrival, t, len(path))
 
@@ -197,6 +249,7 @@ class SGXPathScoreboard(SequentialScoreboard):
         completion = start + sum(costs) + persist_cost
         self._engine_free = completion
         self.path_persists += len(path)
+        self._emit_serial_spans(persist_id, start, costs)
         return self._record(persist_id, arrival, completion, len(path))
 
 
@@ -205,7 +258,8 @@ class UnorderedScoreboard(ScoreboardBase):
 
     def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
         path = self.geometry.path_tuple(leaf_index)
-        self._level_costs(path)
+        costs = self._level_costs(path)
+        self._emit_serial_spans(persist_id, arrival, costs)
         return self._record(persist_id, arrival, arrival, len(path))
 
 
@@ -244,6 +298,29 @@ class OutOfOrderScoreboard(ScoreboardBase):
         root_gate = self._epoch_done[-1] if self._epoch_done else 0
         return admission, root_gate
 
+    def _open_epoch_span(self, start_floor: int) -> Optional[int]:
+        """Emit EPOCH_OPEN (+ ETT utilization sample) for the next epoch."""
+        tel = self.telemetry
+        if tel is None:
+            return None
+        epoch_id = len(self._epoch_done)
+        tel.emit(EventKind.EPOCH_OPEN, start_floor, "epochs", ident=epoch_id)
+        inflight = 1 + sum(
+            1 for t in self._epoch_done[-self.ett_capacity :] if t > start_floor
+        )
+        tel.sample(
+            "ett.utilization",
+            start_floor,
+            min(1.0, inflight / self.ett_capacity),
+        )
+        return epoch_id
+
+    def _drain_epoch_span(self, epoch_id: Optional[int], frontier: int) -> None:
+        if epoch_id is not None and self.telemetry is not None:
+            self.telemetry.emit(
+                EventKind.EPOCH_DRAIN, frontier, "epochs", ident=epoch_id
+            )
+
     def _issue(self, start: int, issue_slots: int) -> int:
         """Reserve the MAC issue port (one node update starts per cycle).
 
@@ -271,6 +348,7 @@ class OutOfOrderScoreboard(ScoreboardBase):
         """
         admission, root_gate = self._epoch_gates()
         start_floor = max(arrival, admission)
+        epoch_span = self._open_epoch_span(start_floor)
         results = []
         epoch_frontier = start_floor
         for persist_id, leaf_index in persists:
@@ -282,9 +360,11 @@ class OutOfOrderScoreboard(ScoreboardBase):
             completion = max(path_done, root_gate)
             epoch_frontier = max(epoch_frontier, completion)
             self._release_wpq(completion)
+            self._emit_serial_spans(persist_id, first_issue, costs)
             results.append(
                 self._record(persist_id, arrival, completion, len(path))
             )
+        self._drain_epoch_span(epoch_span, epoch_frontier)
         self._epoch_done.append(epoch_frontier)
         return results
 
@@ -307,7 +387,9 @@ class CoalescingScoreboard(OutOfOrderScoreboard):
 
     def __init__(self, *args, coalescing_policy: str = "paired", **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        self._coalescer = CoalescingUnit(self.geometry, policy=coalescing_policy)
+        self._coalescer = CoalescingUnit(
+            self.geometry, policy=coalescing_policy, telemetry=self.telemetry
+        )
         self.coalesced_away = 0
 
     def submit_epoch(
@@ -315,6 +397,8 @@ class CoalescingScoreboard(OutOfOrderScoreboard):
     ) -> List[PersistTiming]:
         admission, root_gate = self._epoch_gates()
         start_floor = max(arrival, admission)
+        epoch_span = self._open_epoch_span(start_floor)
+        self._coalescer.now = start_floor
         coalesced = self._coalescer.coalesce_epoch(persists)
         self.coalesced_away += self._coalescer.uncoalesced_updates(
             len(coalesced)
@@ -330,6 +414,7 @@ class CoalescingScoreboard(OutOfOrderScoreboard):
                 costs = self._level_costs(persist.path)
                 first_issue = self._issue(start, len(persist.path))
                 own_done[persist.persist_id] = first_issue + sum(costs)
+                self._emit_serial_spans(persist.persist_id, first_issue, costs)
             else:
                 own_done[persist.persist_id] = start
 
@@ -348,6 +433,7 @@ class CoalescingScoreboard(OutOfOrderScoreboard):
                     persist.persist_id, arrival, completion, persist.update_count
                 )
             )
+        self._drain_epoch_span(epoch_span, epoch_frontier)
         self._epoch_done.append(epoch_frontier)
         return results
 
@@ -360,13 +446,14 @@ def make_scoreboard(
     metadata: Optional[MetadataCaches] = None,
     ett_capacity: int = 2,
     wpq_ring: Optional[OccupancyRing] = None,
+    telemetry: "Optional[Telemetry]" = None,
 ) -> ScoreboardBase:
     """Build the scoreboard matching a scheme.
 
     ``secure_wb`` uses the sequential scoreboard (the paper notes that
     evicted dirty blocks update the BMT sequentially in the baseline).
     """
-    args = (geometry, mac_latency, bmt_miss_latency, metadata)
+    args = (geometry, mac_latency, bmt_miss_latency, metadata, telemetry)
     if scheme in (UpdateScheme.SP, UpdateScheme.SECURE_WB):
         return SequentialScoreboard(*args)
     if scheme is UpdateScheme.SGX_SP:

@@ -27,7 +27,7 @@ cross-validates against this engine.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.coalescing import CoalescingUnit
 from repro.core.ett import EpochTrackingTable, ETTFullError
@@ -35,6 +35,10 @@ from repro.core.ptt import PersistTrackingTable, PTTEntry, PTTFullError
 from repro.core.schemes import UpdateScheme
 from repro.crypto.bmt import BMTGeometry
 from repro.mem.metadata_cache import MetadataCaches
+from repro.telemetry.events import EventKind, level_track
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import Telemetry
 
 
 @dataclass
@@ -68,6 +72,7 @@ class CycleAccurateEngine:
         config: Optional[EngineConfig] = None,
         metadata: Optional[MetadataCaches] = None,
         on_root_ack: Optional[Callable[[int, int], None]] = None,
+        telemetry: "Optional[Telemetry]" = None,
     ) -> None:
         """Create an engine.
 
@@ -78,13 +83,18 @@ class CycleAccurateEngine:
             on_root_ack: Callback ``(persist_id, cycle)`` fired when a
                 persist's BMT root update (or its delegate's) completes —
                 the notification the WPQ waits for in 2SP.
+            telemetry: Optional event bus; the engine stamps events with
+                its own cycle counter and never alters timing.
         """
         self.geometry = geometry
         self.config = config or EngineConfig()
         self.metadata = metadata
-        self.ptt = PersistTrackingTable(self.config.ptt_capacity)
+        self.telemetry = telemetry
+        self.ptt = PersistTrackingTable(
+            self.config.ptt_capacity, telemetry=telemetry, clock=lambda: self.now
+        )
         self.ett = EpochTrackingTable(self.config.ett_capacity)
-        self._coalescer = CoalescingUnit(geometry)
+        self._coalescer = CoalescingUnit(geometry, telemetry=telemetry)
         self._on_root_ack = on_root_ack
         self.now = 0
         self.completions: Dict[int, int] = {}
@@ -129,6 +139,12 @@ class CycleAccurateEngine:
         if self.config.scheme.uses_epochs and epoch_id not in self._known_epochs:
             self.ett.open_epoch(deepest_level=self.geometry.depth)
             self._known_epochs.add(epoch_id)
+            tel = self.telemetry
+            if tel is not None:
+                tel.emit(EventKind.EPOCH_OPEN, self.now, "epochs", ident=epoch_id)
+                tel.sample(
+                    "ett.utilization", self.now, len(self.ett) / self.ett.capacity
+                )
         path = self.geometry.update_path(leaf_index)
         entry = self.ptt.allocate(
             persist_id=persist_id,
@@ -184,6 +200,19 @@ class CycleAccurateEngine:
             leading.delegated_to = trailing.persist_id
         self._paired.add(leading.persist_id)
         self._paired.add(trailing.persist_id)
+        tel = self.telemetry
+        if tel is not None:
+            tel.instant(
+                EventKind.COALESCE_DELEGATE,
+                self.now,
+                "coalesce",
+                ident=leading.persist_id,
+                args={
+                    "to": trailing.persist_id,
+                    "lca": lca,
+                    "updates_removed": len(future) - cut,
+                },
+            )
 
     # ------------------------------------------------------------------
     # per-cycle evaluation
@@ -220,6 +249,13 @@ class CycleAccurateEngine:
             self.node_update_count += 1
             self._updates_done[entry.persist_id] += 1
             entry.ready = True
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    EventKind.BMT_LEVEL_LEAVE,
+                    self.now,
+                    level_track(entry.level),
+                    ident=entry.persist_id,
+                )
             if entry.pending_node == self.geometry.ROOT_LABEL:
                 self._ack(entry)
             elif not entry.remaining_path and entry.delegated_to is not None:
@@ -348,6 +384,14 @@ class CycleAccurateEngine:
                 latency += self.config.bmt_miss_latency
                 self.bmt_cache_misses += 1
         self._busy_until[entry.persist_id] = self.now + latency
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                EventKind.BMT_LEVEL_ENTER,
+                self.now,
+                level_track(entry.level),
+                ident=entry.persist_id,
+                args={"node": entry.pending_node},
+            )
 
     # -- phase 3: retirement --------------------------------------------
 
@@ -375,6 +419,14 @@ class CycleAccurateEngine:
                 # ETT slot frees (Start/End point into the PTT).
                 return
             self.ett.close_epoch(oldest.epoch_id)
+            tel = self.telemetry
+            if tel is not None:
+                tel.emit(
+                    EventKind.EPOCH_DRAIN, self.now, "epochs", ident=oldest.epoch_id
+                )
+                tel.sample(
+                    "ett.utilization", self.now, len(self.ett) / self.ett.capacity
+                )
             # update the ETT's record of the epoch frontier for heirs
             for entry in self.ett:
                 entry.level = self._epoch_frontier(entry.epoch_id)

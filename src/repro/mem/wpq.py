@@ -25,7 +25,12 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.telemetry.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import Telemetry
 
 
 class TupleItem(enum.Enum):
@@ -63,13 +68,25 @@ class WPQEntry:
 class WritePendingQueue:
     """A bounded, FIFO-ordered persist gathering queue."""
 
-    def __init__(self, capacity: int = 32) -> None:
+    def __init__(
+        self,
+        capacity: int = 32,
+        telemetry: "Optional[Telemetry]" = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError("WPQ capacity must be positive")
         self.capacity = capacity
         self._entries: "OrderedDict[int, WPQEntry]" = OrderedDict()
         self._known_epochs: Set[int] = set()
         self.persists_completed = 0
+        self._telemetry = telemetry
+
+    def _emit(self, kind, persist_id: int, args: Optional[dict] = None) -> None:
+        """Record one WPQ event (functional layer: logical clock)."""
+        tel = self._telemetry
+        if tel is not None:
+            tel.instant(kind, tel.clock(), "wpq", ident=persist_id, args=args)
+            tel.sample("wpq.occupancy", tel.clock(), len(self._entries))
 
     # ------------------------------------------------------------------
     # occupancy
@@ -118,6 +135,12 @@ class WritePendingQueue:
         self._entries[persist_id] = entry
         if epoch_id is not None:
             self._known_epochs.add(epoch_id)
+        if self._telemetry is not None:
+            self._emit(
+                EventKind.WPQ_ENQUEUE,
+                persist_id,
+                args={"epoch": epoch_id, "locked": locked},
+            )
         return entry
 
     def deliver(
@@ -163,6 +186,8 @@ class WritePendingQueue:
                 item for item in head.arrived if item is not TupleItem.ROOT_ACK
             }
             released.append(self._entries.popitem(last=False)[1])
+            if self._telemetry is not None:
+                self._emit(EventKind.WPQ_RELEASE, head.persist_id)
         return released
 
     def epoch_known(self, epoch_id: int) -> bool:
@@ -194,6 +219,12 @@ class WritePendingQueue:
                 entry.drained.update(
                     item for item in entry.arrived if item is not TupleItem.ROOT_ACK
                 )
+                if self._telemetry is not None:
+                    self._emit(
+                        EventKind.WPQ_UNLOCK,
+                        entry.persist_id,
+                        args={"epoch": epoch_id},
+                    )
 
     # ------------------------------------------------------------------
     # crash semantics (ADR)
@@ -220,4 +251,11 @@ class WritePendingQueue:
             else:
                 invalidated.append(entry)
         self._entries.clear()
+        if self._telemetry is not None:
+            for entry in persisted:
+                self._emit(
+                    EventKind.WPQ_RELEASE, entry.persist_id, args={"crash": True}
+                )
+            for entry in invalidated:
+                self._emit(EventKind.WPQ_INVALIDATE, entry.persist_id)
         return persisted, invalidated

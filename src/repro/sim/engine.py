@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.telemetry.events import EventKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import Telemetry
 
 
 @dataclass(order=True)
@@ -34,11 +39,16 @@ class Event:
 class Engine:
     """A deterministic discrete-event scheduler with an integer cycle clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: "Optional[Telemetry]" = None) -> None:
         self._queue: list[Event] = []
         self._seq = 0
         self._now = 0
         self._running = False
+        self._telemetry = telemetry
+        if telemetry is not None:
+            # Structures driven by this engine (WPQ, PTT, ...) read the
+            # bus clock; point it at the kernel's cycle counter.
+            telemetry.clock = lambda: self._now
 
     @property
     def now(self) -> int:
@@ -85,6 +95,12 @@ class Engine:
             if event.time < self._now:
                 raise RuntimeError("event queue corrupted: time went backwards")
             self._now = event.time
+            tel = self._telemetry
+            if tel is not None:
+                tel.instant(
+                    EventKind.ENGINE_FIRE, event.time, "engine", ident=event.seq
+                )
+                tel.sample("engine.queue_depth", event.time, len(self._queue))
             event.callback()
             return True
         return False

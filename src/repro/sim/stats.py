@@ -85,19 +85,42 @@ class Histogram:
         for bucket in sorted(self._buckets):
             yield bucket * self.bucket_width, self._buckets[bucket]
 
-    def percentile(self, p: float) -> int:
-        """Approximate percentile ``p`` (0..100) from bucket boundaries."""
+    def percentile(self, p: float) -> float:
+        """Percentile ``p`` (0..100), linearly interpolated within buckets.
+
+        Edge semantics: an empty histogram reports ``0.0``; ``p == 0``
+        is the recorded minimum and ``p == 100`` the maximum; values
+        outside ``[0, 100]`` raise.  Interpolated results are clamped to
+        ``[minimum, maximum]`` so a percentile can never fall outside
+        the observed range (bucket edges overshoot otherwise — e.g. a
+        single-bucket histogram whose samples sit at the bucket floor).
+        """
         if not 0 <= p <= 100:
             raise ValueError("percentile must be within [0, 100]")
         if not self._count:
-            return 0
-        target = math.ceil(self._count * p / 100)
+            return 0.0
+        if p == 0:
+            return float(self.minimum)
+        if p == 100:
+            return float(self.maximum)
+        target = self._count * p / 100.0
         seen = 0
         for start, count in self.buckets():
+            previous = seen
             seen += count
             if seen >= target:
-                return start + self.bucket_width - 1
-        return self.maximum
+                fraction = (target - previous) / count
+                value = start + fraction * self.bucket_width
+                return min(max(value, float(self.minimum)), float(self.maximum))
+        return float(self.maximum)
+
+    def reset(self) -> None:
+        """Clear every sample; the histogram object stays registered."""
+        self._buckets.clear()
+        self._count = 0
+        self._total = 0
+        self._min = None
+        self._max = None
 
 
 @dataclass
@@ -107,7 +130,7 @@ class StatsRegistry:
     prefix: str = ""
     _counters: Dict[str, Counter] = field(default_factory=dict)
     _histograms: Dict[str, Histogram] = field(default_factory=dict)
-    _children: List["StatsRegistry"] = field(default_factory=list)
+    _children: Dict[str, "StatsRegistry"] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter ``name``."""
@@ -122,9 +145,17 @@ class StatsRegistry:
         return self._histograms[name]
 
     def child(self, prefix: str) -> "StatsRegistry":
-        """Create a nested registry whose names are prefixed."""
-        registry = StatsRegistry(prefix=self._qualify(prefix))
-        self._children.append(registry)
+        """Get or create the nested registry ``prefix``.
+
+        Memoized: asking for the same prefix twice returns the same
+        registry, so two components sharing a namespace also share its
+        counters instead of silently shadowing each other in
+        :meth:`as_dict`.
+        """
+        registry = self._children.get(prefix)
+        if registry is None:
+            registry = StatsRegistry(prefix=self._qualify(prefix))
+            self._children[prefix] = registry
         return registry
 
     def as_dict(self) -> Dict[str, float]:
@@ -136,15 +167,23 @@ class StatsRegistry:
             out[f"{histogram.name}.count"] = histogram.count
             out[f"{histogram.name}.mean"] = histogram.mean
             out[f"{histogram.name}.max"] = histogram.maximum
-        for childreg in self._children:
+        for childreg in self._children.values():
             out.update(childreg.as_dict())
         return out
 
     def reset(self) -> None:
+        """Zero every counter and histogram, recursively.
+
+        Histograms are reset *in place* (not discarded) so components
+        holding a histogram reference keep recording into the registry
+        after a reset; the recursion reaches grandchildren through each
+        child's own reset.
+        """
         for counter in self._counters.values():
             counter.reset()
-        self._histograms.clear()
-        for childreg in self._children:
+        for histogram in self._histograms.values():
+            histogram.reset()
+        for childreg in self._children.values():
             childreg.reset()
 
     def _qualify(self, name: str) -> str:

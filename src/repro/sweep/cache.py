@@ -51,6 +51,10 @@ def config_digest(config: SystemConfig) -> str:
     included)."""
     payload = asdict(config)
     payload["scheme"] = config.scheme.value
+    # Telemetry is pure observation: it never changes a SimResult, so it
+    # must not fork cache keys (a telemetry-on run is a valid cache hit
+    # for a telemetry-off sweep and vice versa).
+    payload.pop("telemetry", None)
     blob = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
 

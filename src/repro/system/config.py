@@ -8,6 +8,7 @@ from typing import Optional
 from repro.core.schemes import UpdateScheme
 from repro.crypto.bmt import BMTGeometry
 from repro.mem.nvm import NVMConfig
+from repro.telemetry.config import TelemetryConfig
 
 KB = 1024
 MB = 1024 * KB
@@ -83,6 +84,12 @@ class SystemConfig:
     protect_stack: bool = False
     """``True`` models the paper's '_full' configurations where every
     store (including the stack) is persistent."""
+
+    # Observability.
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    """Structured event tracing / occupancy gauges (off by default).
+    Never affects simulation results and is excluded from result-cache
+    keys, so toggling it cannot invalidate or fork cached sweeps."""
 
     def __post_init__(self) -> None:
         if self.mac_latency < 0:

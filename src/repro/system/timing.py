@@ -36,6 +36,8 @@ from repro.mem.nvm import NVMModel
 from repro.persistency.epochs import Epoch, EpochTracker
 from repro.sim.stats import StatsRegistry
 from repro.system.config import SystemConfig
+from repro.telemetry.bus import Telemetry
+from repro.telemetry.events import EventKind
 from repro.workloads.trace import KIND_LOAD, KIND_SFENCE, MemoryTrace
 
 
@@ -121,6 +123,7 @@ class TraceSimulator:
         "wpq_ring",
         "scoreboard",
         "epochs",
+        "telemetry",
         "_combiner",
         "_num_leaves",
         "_blocks_per_counter_block",
@@ -144,6 +147,13 @@ class TraceSimulator:
         self.scheme = config.scheme
         self.geometry = config.geometry()
         self.stats = StatsRegistry()
+        # Telemetry observes timing; it never feeds back into it, so
+        # SimResults are bit-identical with the bus on or off.
+        self.telemetry = (
+            Telemetry(config.telemetry) if config.telemetry.enabled else None
+        )
+        if self.telemetry is not None:
+            self.telemetry.clock = lambda: int(self._now)
         self.hierarchy = CacheHierarchy(
             l1_bytes=config.l1_bytes,
             l2_bytes=config.l2_bytes,
@@ -163,6 +173,7 @@ class TraceSimulator:
             ideal=config.ideal_metadata,
             blocks_per_counter_block=config.blocks_per_counter_block,
             stats=self.stats,
+            telemetry=self.telemetry,
         )
         self.nvm = NVMModel(config.nvm, stats=self.stats)
         self.wpq_ring = OccupancyRing(config.wpq_entries)
@@ -174,6 +185,7 @@ class TraceSimulator:
             metadata=self.metadata,
             ett_capacity=config.ett_entries,
             wpq_ring=self.wpq_ring if self.scheme.uses_epochs else None,
+            telemetry=self.telemetry,
         )
         self.epochs = (
             EpochTracker(config.epoch_size) if self.scheme.uses_epochs else None
@@ -367,13 +379,24 @@ class TraceSimulator:
             self._now = float(admit)
         arrival = int(self._now)
         arrival = self._metadata_update(block, arrival)
-        timing = self.scoreboard.submit(
-            self._next_persist_id, self._leaf_of(block), arrival
-        )
+        persist_id = self._next_persist_id
+        timing = self.scoreboard.submit(persist_id, self._leaf_of(block), arrival)
         self._next_persist_id += 1
         self._persist_count += 1
         self._last_completion = max(self._last_completion, timing.completion)
         self.wpq_ring.occupy(timing.completion)
+        tel = self.telemetry
+        if tel is not None:
+            tel.instant(
+                EventKind.WPQ_ENQUEUE, arrival, "wpq", ident=persist_id,
+                args={"block": block},
+            )
+            tel.instant(
+                EventKind.WPQ_RELEASE, timing.completion, "wpq", ident=persist_id
+            )
+            tel.sample(
+                "wpq.occupancy", arrival, self.wpq_ring.occupancy(arrival)
+            )
         # Tuple writes drain to NVM in the background (bandwidth).
         self._tuple_writes(block, arrival)
         if self.scheme.persists_whole_path:
@@ -431,10 +454,24 @@ class TraceSimulator:
             self._next_persist_id += 1
         if not persists:
             return
+        tel = self.telemetry
+        if tel is not None:
+            for persist_id, _ in persists:
+                tel.instant(
+                    EventKind.WPQ_ENQUEUE, arrival, "wpq", ident=persist_id
+                )
+            tel.sample("wpq.occupancy", arrival, self.wpq_ring.occupancy(arrival))
         timings = self.scoreboard.submit_epoch(persists, arrival)
         self._persist_count += len(persists)
         for timing in timings:
             self._last_completion = max(self._last_completion, timing.completion)
+            if tel is not None:
+                tel.instant(
+                    EventKind.WPQ_RELEASE,
+                    timing.completion,
+                    "wpq",
+                    ident=timing.persist_id,
+                )
         # The core stalls while flush issue waits for WPQ slots / the ETT.
         issue_done = self.scoreboard.last_issue_time
         if issue_done > self._now:
@@ -458,13 +495,24 @@ class TraceSimulator:
             self._wpq_stall.add(admit - now)
             self._now = float(admit)
             arrival = max(arrival, admit)
-        timing = self.scoreboard.submit(
-            self._next_persist_id, self._leaf_of(block), arrival
-        )
+        persist_id = self._next_persist_id
+        timing = self.scoreboard.submit(persist_id, self._leaf_of(block), arrival)
         self._next_persist_id += 1
         self._persist_count += 1
         self._last_completion = max(self._last_completion, timing.completion)
         self.wpq_ring.occupy(timing.completion)
+        tel = self.telemetry
+        if tel is not None:
+            tel.instant(
+                EventKind.WPQ_ENQUEUE, arrival, "wpq", ident=persist_id,
+                args={"block": block, "writeback": True},
+            )
+            tel.instant(
+                EventKind.WPQ_RELEASE, timing.completion, "wpq", ident=persist_id
+            )
+            tel.sample(
+                "wpq.occupancy", arrival, self.wpq_ring.occupancy(arrival)
+            )
 
     # ------------------------------------------------------------------
     # end of trace

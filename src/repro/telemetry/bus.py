@@ -1,0 +1,176 @@
+"""The telemetry bus: typed event emission into bounded sinks.
+
+Design contract (enforced by ``bench_perf.py`` and the timing tests):
+
+* **Zero overhead when disabled.**  Instrumented modules accept
+  ``telemetry=None`` and either guard emissions with a single ``is not
+  None`` check off the per-instruction hot path, or — for the hottest
+  call sites (metadata-cache accesses) — install instrumented bound
+  methods *only* when a bus is present, leaving the disabled path's
+  bytecode untouched.
+* **Observation only.**  Nothing in this package feeds back into timing
+  state; simulation results are bit-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.events import EventKind, TraceEvent
+from repro.telemetry.series import GaugeSeries
+
+
+class TelemetrySink:
+    """Receives every emitted event.  Subclasses override :meth:`record`."""
+
+    def record(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    def events(self) -> List[TraceEvent]:
+        raise NotImplementedError
+
+
+class RingBufferSink(TelemetrySink):
+    """A bounded FIFO of events; the oldest are dropped (and counted)."""
+
+    __slots__ = ("capacity", "_events", "dropped")
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def record(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class NullSink(TelemetrySink):
+    """Discards everything (explicit sink for smoke tests and sizing)."""
+
+    def record(self, event: TraceEvent) -> None:  # pragma: no cover - trivial
+        pass
+
+    def events(self) -> List[TraceEvent]:
+        return []
+
+
+def _zero_clock() -> int:
+    return 0
+
+
+class Telemetry:
+    """The bus: owns the sink, the gauge registry, and the clock.
+
+    Instrumented structures without their own notion of time (the
+    functional WPQ, the coalescing unit) read :attr:`clock`, a zero-arg
+    callable the owning simulator points at its cycle counter; the
+    default clock pins events at t=0, and the sink preserves emission
+    order regardless.
+    """
+
+    __slots__ = ("config", "sink", "clock", "_gauges", "_seq")
+
+    def __init__(
+        self,
+        config: Optional[TelemetryConfig] = None,
+        sink: Optional[TelemetrySink] = None,
+    ) -> None:
+        self.config = config if config is not None else TelemetryConfig(enabled=True)
+        self.sink = sink if sink is not None else RingBufferSink(self.config.ring_capacity)
+        self.clock: Callable[[], int] = _zero_clock
+        self._gauges: Dict[str, GaugeSeries] = {}
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+
+    def emit(
+        self,
+        kind: EventKind,
+        time: int,
+        track: str,
+        ident: int = -1,
+        duration: int = 0,
+        args: Optional[dict] = None,
+    ) -> TraceEvent:
+        """Record one event; returns it (tests inspect the instance)."""
+        event = TraceEvent(kind, time, track, ident=ident, duration=duration, args=args)
+        self._seq += 1
+        self.sink.record(event)
+        return event
+
+    def instant(
+        self,
+        kind: EventKind,
+        time: int,
+        track: str,
+        ident: int = -1,
+        args: Optional[dict] = None,
+    ) -> TraceEvent:
+        return self.emit(kind, time, track, ident=ident, args=args)
+
+    def span(
+        self,
+        kind: EventKind,
+        time: int,
+        duration: int,
+        track: str,
+        ident: int = -1,
+        args: Optional[dict] = None,
+    ) -> TraceEvent:
+        return self.emit(kind, time, track, ident=ident, duration=duration, args=args)
+
+    def events(self) -> List[TraceEvent]:
+        """Events currently retained by the sink, in emission order."""
+        return self.sink.events()
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted (including any the ring dropped)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        return getattr(self.sink, "dropped", 0)
+
+    # ------------------------------------------------------------------
+    # gauges
+    # ------------------------------------------------------------------
+
+    def gauge(self, name: str) -> GaugeSeries:
+        """Get or create the gauge ``name`` (stride from the config)."""
+        series = self._gauges.get(name)
+        if series is None:
+            series = GaugeSeries(
+                name,
+                stride=self.config.sample_stride,
+                value_cap=self.config.window_value_cap,
+                max_windows=self.config.max_windows,
+            )
+            self._gauges[name] = series
+        return series
+
+    def sample(self, name: str, time: int, value: float) -> None:
+        self.gauge(name).sample(time, value)
+
+    def gauges(self) -> Dict[str, GaugeSeries]:
+        return dict(self._gauges)
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry(events={self._seq}, dropped={self.dropped}, "
+            f"gauges={sorted(self._gauges)})"
+        )

@@ -1,0 +1,295 @@
+"""Telemetry exporters.
+
+Three renderings of one event stream:
+
+* :func:`chrome_trace` — Chrome trace-event JSON (the ``traceEvents``
+  array format) loadable in Perfetto or ``about://tracing``.  One
+  *process* per simulation (scheme), one *thread* per hardware-structure
+  track, epochs as async ``b``/``e`` spans, gauges as counter (``C``)
+  tracks.  Cycle timestamps are exported as microseconds (1 cycle =
+  1 µs), which only affects the axis label.
+* :func:`write_jsonl` — one JSON object per line, for ad-hoc grep/pandas.
+* :func:`render_timeline` — a terminal occupancy heat-strip per track.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.telemetry.bus import Telemetry
+from repro.telemetry.events import OPEN_KINDS, SPAN_KINDS, EventKind, TraceEvent
+
+_INSTANT_SCOPE = "t"  # thread-scoped instants render as small arrows
+
+
+def paired_spans(events: List[TraceEvent]) -> List[TraceEvent]:
+    """Close begin/end event pairs into synthetic span events.
+
+    Open-kind events (``BMT_LEVEL_ENTER``, ``EPOCH_OPEN``) are matched
+    FIFO per ``(track, ident)`` with the first later event of their end
+    kind; unmatched begins are kept as zero-duration spans.  Events that
+    already carry a duration pass through unchanged.
+    """
+    spans: List[TraceEvent] = []
+    open_events: Dict[Tuple[str, int, EventKind], List[TraceEvent]] = {}
+    for event in events:
+        if event.kind in SPAN_KINDS:
+            spans.append(event)
+        elif event.kind in OPEN_KINDS:
+            key = (event.track, event.ident, OPEN_KINDS[event.kind])
+            open_events.setdefault(key, []).append(event)
+        else:
+            key = (event.track, event.ident, event.kind)
+            pending = open_events.get(key)
+            if pending:
+                begin = pending.pop(0)
+                spans.append(
+                    TraceEvent(
+                        begin.kind,
+                        begin.time,
+                        begin.track,
+                        ident=begin.ident,
+                        duration=max(0, event.time - begin.time),
+                        args=begin.args,
+                    )
+                )
+    for pending in open_events.values():
+        for begin in pending:
+            spans.append(
+                TraceEvent(
+                    begin.kind,
+                    begin.time,
+                    begin.track,
+                    ident=begin.ident,
+                    duration=0,
+                    args=begin.args,
+                )
+            )
+    spans.sort(key=lambda e: (e.time, e.track, e.ident))
+    return spans
+
+
+def _track_order(telemetry: Telemetry) -> "OrderedDict[str, int]":
+    """Stable track -> tid mapping: first-seen order, tid from 1."""
+    tracks: "OrderedDict[str, int]" = OrderedDict()
+    for event in telemetry.events():
+        if event.track not in tracks:
+            tracks[event.track] = len(tracks) + 1
+    return tracks
+
+
+def chrome_trace(
+    telemetries: Mapping[str, Telemetry],
+    counter_gauges: bool = True,
+) -> dict:
+    """Export one or more telemetry buses as a Chrome trace-event JSON.
+
+    Args:
+        telemetries: ``{process_name: telemetry}`` — typically one entry
+            per simulated scheme so Perfetto shows them side by side.
+        counter_gauges: Also emit each gauge's windowed means as a
+            counter track.
+
+    Returns:
+        A JSON-ready dict with a ``traceEvents`` list.
+    """
+    trace_events: List[dict] = []
+    for pid, (name, telemetry) in enumerate(telemetries.items(), start=1):
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+        tracks = _track_order(telemetry)
+        for track, tid in tracks.items():
+            trace_events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": track},
+                }
+            )
+        events = telemetry.events()
+        # Epochs render as async spans on their own track; everything
+        # else becomes complete ("X") spans or thread instants.
+        for event in events:
+            tid = tracks[event.track]
+            if event.kind is EventKind.EPOCH_OPEN:
+                trace_events.append(
+                    {
+                        "ph": "b",
+                        "cat": "epoch",
+                        "name": f"epoch {event.ident}",
+                        "id": event.ident,
+                        "ts": event.time,
+                        "pid": pid,
+                        "tid": tid,
+                    }
+                )
+            elif event.kind is EventKind.EPOCH_DRAIN:
+                trace_events.append(
+                    {
+                        "ph": "e",
+                        "cat": "epoch",
+                        "name": f"epoch {event.ident}",
+                        "id": event.ident,
+                        "ts": event.time,
+                        "pid": pid,
+                        "tid": tid,
+                    }
+                )
+            elif event.kind in SPAN_KINDS or event.kind in OPEN_KINDS:
+                continue  # handled below via paired_spans
+            elif event.kind is EventKind.BMT_LEVEL_LEAVE:
+                continue  # closes an enter; handled via paired_spans
+            else:
+                entry = {
+                    "ph": "i",
+                    "s": _INSTANT_SCOPE,
+                    "cat": "event",
+                    "name": event.kind.name.lower(),
+                    "ts": event.time,
+                    "pid": pid,
+                    "tid": tid,
+                }
+                if event.args:
+                    entry["args"] = dict(event.args)
+                trace_events.append(entry)
+        for span in paired_spans(events):
+            if span.kind is EventKind.EPOCH_OPEN:
+                continue  # already emitted as async b/e
+            entry = {
+                "ph": "X",
+                "cat": "span",
+                "name": f"p{span.ident}" if span.ident >= 0 else span.kind.name.lower(),
+                "ts": span.time,
+                "dur": max(span.duration, 1),
+                "pid": pid,
+                "tid": tracks[span.track],
+            }
+            if span.args:
+                entry["args"] = dict(span.args)
+            trace_events.append(entry)
+        if counter_gauges:
+            for gauge_name, series in sorted(telemetry.gauges().items()):
+                for start, stats in series.windows():
+                    trace_events.append(
+                        {
+                            "ph": "C",
+                            "name": gauge_name,
+                            "ts": start,
+                            "pid": pid,
+                            "tid": 0,
+                            "args": {"value": round(stats.mean, 4)},
+                        }
+                    )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str,
+    telemetries: Mapping[str, Telemetry],
+    counter_gauges: bool = True,
+) -> int:
+    """Write :func:`chrome_trace` output to ``path``; returns event count."""
+    payload = chrome_trace(telemetries, counter_gauges=counter_gauges)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return len(payload["traceEvents"])
+
+
+def write_jsonl(path: str, telemetry: Telemetry) -> int:
+    """Dump the retained events (and gauge summaries) as JSON lines."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in telemetry.events():
+            fh.write(json.dumps(event.as_dict(), sort_keys=True))
+            fh.write("\n")
+            count += 1
+        for name, series in sorted(telemetry.gauges().items()):
+            fh.write(
+                json.dumps({"gauge": name, **series.summary()}, sort_keys=True)
+            )
+            fh.write("\n")
+            count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# terminal renderer
+# ----------------------------------------------------------------------
+
+_DENSITY = " .:=#@"
+
+
+def _coverage_row(
+    intervals: List[Tuple[int, int]], t0: int, t1: int, width: int
+) -> str:
+    """Render interval coverage over [t0, t1) as a density strip."""
+    span = max(1, t1 - t0)
+    bucket = span / width
+    busy = [0.0] * width
+    for start, end in intervals:
+        if end <= start:
+            end = start + 1
+        lo = max(0.0, (start - t0) / bucket)
+        hi = min(float(width), (end - t0) / bucket)
+        column = int(lo)
+        while column < hi and column < width:
+            cover = min(column + 1.0, hi) - max(float(column), lo)
+            busy[column] += cover
+            column += 1
+    out = []
+    for fraction in busy:
+        index = min(len(_DENSITY) - 1, int(round(min(1.0, fraction) * (len(_DENSITY) - 1))))
+        out.append(_DENSITY[index])
+    return "".join(out)
+
+
+def render_timeline(
+    telemetry: Telemetry,
+    width: int = 72,
+    tracks: Optional[List[str]] = None,
+) -> str:
+    """ASCII occupancy timeline: one density strip per track.
+
+    Span events (closed-form or paired enter/leave) contribute their
+    interval; instants contribute one cycle.  Darker cells mean the
+    structure was busier during that slice of the run.
+    """
+    spans = paired_spans(telemetry.events())
+    instants = [
+        e
+        for e in telemetry.events()
+        if e.kind not in SPAN_KINDS
+        and e.kind not in OPEN_KINDS
+        and e.kind is not EventKind.BMT_LEVEL_LEAVE
+        and e.kind is not EventKind.EPOCH_DRAIN
+    ]
+    by_track: Dict[str, List[Tuple[int, int]]] = {}
+    for span in spans:
+        by_track.setdefault(span.track, []).append((span.time, span.end()))
+    for event in instants:
+        by_track.setdefault(event.track, []).append((event.time, event.time + 1))
+    if not by_track:
+        return "(no telemetry events)"
+    t0 = min(start for ivs in by_track.values() for start, _ in ivs)
+    t1 = max(end for ivs in by_track.values() for _, end in ivs)
+    if tracks is None:
+        tracks = sorted(by_track)
+    label_width = max(len(t) for t in tracks) if tracks else 0
+    lines = [f"timeline: cycles {t0:,} .. {t1:,}  (each cell ~{max(1, (t1 - t0) // width):,} cycles)"]
+    for track in tracks:
+        intervals = by_track.get(track, [])
+        strip = _coverage_row(intervals, t0, t1, width)
+        lines.append(f"{track.ljust(label_width)} |{strip}|")
+    lines.append(f"{'legend'.ljust(label_width)}  idle '{_DENSITY[0]}' .. busy '{_DENSITY[-1]}'")
+    return "\n".join(lines)

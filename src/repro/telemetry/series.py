@@ -1,0 +1,181 @@
+"""Time-series gauges with windowed rollups.
+
+A :class:`GaugeSeries` accepts ``(time, value)`` samples and aggregates
+them into fixed-stride windows (``time // stride``).  Each window keeps
+exact count/sum/min/max plus a bounded prefix of raw values for
+percentile rollups; the series as a whole keeps exact overall
+aggregates, so window eviction (bounded memory) never corrupts the
+summary statistics.
+
+Everything is event-driven: the closed-form simulators have no per-cycle
+tick, so gauges are sampled whenever the instrumented structure changes
+state and the windowing turns those irregular samples into the paper's
+figure-style per-interval rollups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+
+class _Window:
+    __slots__ = ("count", "total", "minimum", "maximum", "values")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.values: List[float] = []
+
+
+class WindowStats:
+    """Immutable rollup of one gauge window."""
+
+    __slots__ = ("start", "count", "mean", "minimum", "maximum")
+
+    def __init__(self, start: int, count: int, mean: float, minimum: float, maximum: float) -> None:
+        self.start = start
+        self.count = count
+        self.mean = mean
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def as_dict(self) -> dict:
+        return {
+            "start": self.start,
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+def interpolated_percentile(sorted_values: List[float], p: float) -> float:
+    """Exact linear-interpolation percentile of a sorted sample list."""
+    if not sorted_values:
+        return 0.0
+    if p <= 0:
+        return sorted_values[0]
+    if p >= 100:
+        return sorted_values[-1]
+    rank = (len(sorted_values) - 1) * p / 100.0
+    low = int(rank)
+    frac = rank - low
+    if low + 1 >= len(sorted_values):
+        return sorted_values[-1]
+    return sorted_values[low] + (sorted_values[low + 1] - sorted_values[low]) * frac
+
+
+class GaugeSeries:
+    """One named time-series gauge."""
+
+    __slots__ = (
+        "name",
+        "stride",
+        "value_cap",
+        "max_windows",
+        "_windows",
+        "count",
+        "total",
+        "minimum",
+        "maximum",
+        "evicted_windows",
+        "last_value",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        stride: int = 64,
+        value_cap: int = 64,
+        max_windows: int = 4096,
+    ) -> None:
+        if stride <= 0:
+            raise ValueError("stride must be positive")
+        self.name = name
+        self.stride = stride
+        self.value_cap = value_cap
+        self.max_windows = max_windows
+        self._windows: Dict[int, _Window] = {}
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        self.evicted_windows = 0
+        self.last_value = 0.0
+
+    def sample(self, time: int, value: float) -> None:
+        """Record one sample."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        self.last_value = value
+        index = time // self.stride
+        window = self._windows.get(index)
+        if window is None:
+            window = _Window()
+            self._windows[index] = window
+            if len(self._windows) > self.max_windows:
+                self._windows.pop(min(self._windows))
+                self.evicted_windows += 1
+        window.count += 1
+        window.total += value
+        if value < window.minimum:
+            window.minimum = value
+        if value > window.maximum:
+            window.maximum = value
+        if len(window.values) < self.value_cap:
+            window.values.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def windows(self) -> Iterator[Tuple[int, WindowStats]]:
+        """Yield ``(window_start_cycle, rollup)`` in time order."""
+        for index in sorted(self._windows):
+            window = self._windows[index]
+            yield index * self.stride, WindowStats(
+                start=index * self.stride,
+                count=window.count,
+                mean=window.total / window.count,
+                minimum=window.minimum,
+                maximum=window.maximum,
+            )
+
+    def percentile(self, p: float) -> float:
+        """Interpolated percentile over the retained raw samples.
+
+        Exact when no window hit its ``value_cap``; otherwise an
+        approximation over each window's retained prefix.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be within [0, 100]")
+        values: List[float] = []
+        for window in self._windows.values():
+            values.extend(window.values)
+        values.sort()
+        return interpolated_percentile(values, p)
+
+    def summary(self) -> dict:
+        """Rollup of the whole series (JSON-ready)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum if self.count else 0.0,
+            "max": self.maximum if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "windows": len(self._windows),
+            "evicted_windows": self.evicted_windows,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"GaugeSeries({self.name!r}, stride={self.stride}, "
+            f"count={self.count}, windows={len(self._windows)})"
+        )

@@ -86,6 +86,61 @@ def test_rebuild_time(capsys):
     assert "full" in out and "touched" in out
 
 
+def test_timeline_prints_occupancy_tables(capsys):
+    code, out, _ = run_cli(capsys, "timeline", "gamess", "--ki", "3")
+    assert code == 0
+    assert "BMT level occupancy" in out
+    assert "avg occupied levels" in out
+    assert "sp" in out and "pipeline" in out
+
+
+def test_timeline_render_and_chrome_export(capsys, tmp_path):
+    out_path = tmp_path / "timeline.json"
+    code, out, _ = run_cli(
+        capsys,
+        "timeline",
+        "gamess",
+        "--ki", "3",
+        "--render",
+        "--export", "chrome",
+        "--out", str(out_path),
+    )
+    assert code == 0
+    assert "timeline: cycles" in out  # ASCII strips rendered
+    assert "Perfetto" in out
+    import json
+
+    payload = json.loads(out_path.read_text())
+    assert payload["traceEvents"]
+    processes = {
+        e["args"]["name"]
+        for e in payload["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "process_name"
+    }
+    assert processes == {"sp", "pipeline"}
+
+
+def test_timeline_jsonl_export(capsys, tmp_path):
+    stem = tmp_path / "timeline"
+    code, out, _ = run_cli(
+        capsys,
+        "timeline",
+        "gamess",
+        "--ki", "3",
+        "--schemes", "sp",
+        "--export", "jsonl",
+        "--out", str(stem),
+    )
+    assert code == 0
+    assert (tmp_path / "timeline.sp.jsonl").exists()
+
+
+def test_timeline_unknown_benchmark_fails(capsys):
+    code, _, err = run_cli(capsys, "timeline", "doom")
+    assert code == 2
+    assert "unknown benchmark" in err
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
