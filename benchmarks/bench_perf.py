@@ -27,6 +27,12 @@ cost of observability.  The sequential stage itself doubles as the
 telemetry-*off* regression guard — the subsystem's disabled path must
 stay within noise of pre-telemetry builds.
 
+A fifth stage, ``engine_skip_ahead``, runs a reduced matrix once per
+timing-engine family (``SystemConfig.engine``): the skip-ahead
+event-queue engine against the per-cycle stepped reference.  The two
+must be bit-identical, and the skip-ahead engine must be at least 3x
+faster; both the comparison and the speedup land in the report.
+
 All simulating stages must produce bit-identical results (the full
 ``SimResult`` is compared field by field); the harness fails hard if
 they ever diverge.  Timings, speedups vs the sequential stage, and
@@ -143,6 +149,59 @@ def run_trace_stages(benchmarks, ki: int, cache_root: Path) -> list:
     return stages
 
 
+def run_engine_stage() -> dict:
+    """Differential perf stage: skip-ahead engine vs the stepped oracle.
+
+    Runs a reduced matrix (the quick benchmarks x schemes at QUICK_KI —
+    the stepped engine is deliberately O(total cycles waited), so the
+    full 25 KI matrix would take minutes) sequentially with the result
+    cache off, once per engine family.  Results must be bit-identical;
+    the recorded ``speedup_vs_stepped`` must be at least 3x or the
+    harness fails hard.
+    """
+    results = {}
+    walls = {}
+    for engine in ("skip_ahead", "stepped"):
+        jobs = [
+            SweepJob.make(name, scheme, QUICK_KI, engine=engine)
+            for name in QUICK_BENCHMARKS
+            for scheme in QUICK_SCHEMES
+        ]
+        start = time.perf_counter()
+        results[engine], _ = run_jobs(jobs, workers=1, cache=False)
+        walls[engine] = time.perf_counter() - start
+    if fingerprints(results["skip_ahead"]) != fingerprints(results["stepped"]):
+        print(
+            "FAIL: skip-ahead engine diverged from the stepped reference",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    speedup = (
+        round(walls["stepped"] / walls["skip_ahead"], 3)
+        if walls["skip_ahead"] > 0
+        else None
+    )
+    stage = {
+        "name": "engine_skip_ahead",
+        "matrix": {
+            "benchmarks": QUICK_BENCHMARKS,
+            "schemes": QUICK_SCHEMES,
+            "kilo_instructions": QUICK_KI,
+        },
+        "wall_seconds": round(walls["skip_ahead"], 6),
+        "wall_seconds_stepped": round(walls["stepped"], 6),
+        "speedup_vs_stepped": speedup,
+        "results_identical": True,
+    }
+    if speedup is None or speedup < 3.0:
+        print(
+            f"FAIL: skip-ahead speedup {speedup}x vs stepped is below the 3x floor",
+            file=sys.stderr,
+        )
+        raise SystemExit(1)
+    return stage
+
+
 def run_stage(name: str, jobs, workers: int, cache) -> dict:
     start = time.perf_counter()
     results, report = run_jobs(jobs, workers=workers, cache=cache)
@@ -228,6 +287,10 @@ def main(argv=None) -> int:
             "telemetry_on", telemetry_jobs, workers=1, cache=False
         )
         stages.append((tel_stage, tel_results))
+        # Engine differential: skip-ahead vs the per-cycle stepped
+        # reference, on its own reduced matrix (compared internally, not
+        # against the sequential golden results).
+        engine_stage = run_engine_stage()
 
     # Determinism: every stage must reproduce the sequential results
     # exactly — full SimResult equality, not just the headline counters.
@@ -255,6 +318,12 @@ def main(argv=None) -> int:
             "identical": True,
         },
         "trace_stages": trace_stages,
+        "engine": {
+            "default": "skip_ahead",
+            "reference": "stepped",
+            "speedup_vs_stepped": engine_stage["speedup_vs_stepped"],
+            "results_identical": True,
+        },
         "telemetry": {
             "off_stage": "sequential",
             "on_stage": "telemetry_on",
@@ -276,6 +345,12 @@ def main(argv=None) -> int:
             f"hit rate {stage['cache_hit_rate']:.0%}  "
             f"{stage['jobs_per_second']:.1f} jobs/s"
         )
+    report["stages"].append(engine_stage)
+    print(
+        f"  {engine_stage['name']:12s} {engine_stage['wall_seconds']:8.3f}s  "
+        f"{engine_stage['speedup_vs_stepped']:>7}x vs stepped engine  "
+        f"(stepped: {engine_stage['wall_seconds_stepped']:.3f}s)"
+    )
 
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"
     args.out.write_text(payload, encoding="utf-8")

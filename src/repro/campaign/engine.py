@@ -145,8 +145,9 @@ def _delivery_plan(
             coalesced = unit.coalesce_epoch(
                 [(p, journal[p].page) for p in indices]
             )
+            finals = unit.resolve_delegates(coalesced)
             for p in indices:
-                resolve[p] = unit.resolve_delegate(coalesced, p)
+                resolve[p] = finals[p]
 
     # Step 4: root acks, chained per Invariant 2 when the scheme orders
     # root updates.

@@ -20,7 +20,7 @@ Two policies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.crypto.bmt import BMTGeometry
 from repro.telemetry.events import EventKind
@@ -163,3 +163,49 @@ class CoalescingUnit:
             seen.add(current.persist_id)
             current = by_id[current.delegated_to]
         return current.persist_id
+
+    @staticmethod
+    def resolve_delegates(
+        persists: Sequence[CoalescedPersist],
+    ) -> Dict[int, int]:
+        """Resolve every persist's final delegate in a single pass.
+
+        Equivalent to calling :meth:`resolve_delegate` for each persist,
+        but memoized: a chain is walked once and every persist on it is
+        mapped to the chain's terminal persist, so resolving a whole
+        epoch is linear in its persist count instead of quadratic.
+
+        Returns:
+            ``{persist_id: final_persist_id}`` for every input persist.
+
+        Raises:
+            KeyError: A delegation points outside the coalesced epoch.
+            RuntimeError: A delegation cycle is detected.
+        """
+        by_id = {p.persist_id: p for p in persists}
+        finals: Dict[int, int] = {}
+        for persist in persists:
+            chain: List[int] = []
+            on_chain = set()
+            current = persist
+            while True:
+                pid = current.persist_id
+                if pid in finals:
+                    final = finals[pid]
+                    break
+                if pid in on_chain:
+                    raise RuntimeError("delegation cycle detected")
+                on_chain.add(pid)
+                chain.append(pid)
+                target = current.delegated_to
+                if target is None:
+                    final = pid
+                    break
+                if target not in by_id:
+                    raise KeyError(
+                        f"persist {target} is not part of this coalesced epoch"
+                    )
+                current = by_id[target]
+            for pid in chain:
+                finals[pid] = final
+        return finals

@@ -89,6 +89,10 @@ class PersistTrackingTable:
             raise ValueError("PTT capacity must be positive")
         self.capacity = capacity
         self._entries: List[PTTEntry] = []
+        # persist_id -> entry index for O(1) find(); duplicate IDs (never
+        # produced by the engines, but legal) fall back to a linear scan.
+        self._by_id: dict = {}
+        self._dup_ids = 0
         self.allocated_total = 0
         self.retired_total = 0
         self._telemetry = telemetry
@@ -146,6 +150,8 @@ class PersistTrackingTable:
             remaining_path=list(path[1:]),
         )
         self._entries.append(entry)
+        if self._by_id.setdefault(persist_id, entry) is not entry:
+            self._dup_ids += 1
         self.allocated_total += 1
         if self._telemetry is not None:
             self._emit(EventKind.PTT_ALLOCATE, persist_id)
@@ -156,10 +162,7 @@ class PersistTrackingTable:
         return self._entries[0] if self._entries else None
 
     def find(self, persist_id: int) -> Optional[PTTEntry]:
-        for entry in self._entries:
-            if entry.persist_id == persist_id:
-                return entry
-        return None
+        return self._by_id.get(persist_id)
 
     def retire_head(self) -> PTTEntry:
         """Deallocate the head entry; it must be persisted.
@@ -176,6 +179,15 @@ class PersistTrackingTable:
             )
         self.retired_total += 1
         retired = self._entries.pop(0)
+        if self._by_id.get(retired.persist_id) is retired:
+            del self._by_id[retired.persist_id]
+            if self._dup_ids:
+                # A shadowed duplicate becomes findable again.
+                for entry in self._entries:
+                    if entry.persist_id == retired.persist_id:
+                        self._by_id[retired.persist_id] = entry
+                        self._dup_ids -= 1
+                        break
         if self._telemetry is not None:
             self._emit(EventKind.PTT_RETIRE, retired.persist_id)
         return retired

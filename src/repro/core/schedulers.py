@@ -1,9 +1,14 @@
-"""Closed-form scoreboard models of the BMT update engines.
+"""Skip-ahead scoreboard engines for the BMT update hardware.
 
 For trace-scale simulation, stepping the cycle-accurate engine is too
 slow in pure Python, so each scheme has an equivalent *scoreboard*: a
-per-persist recurrence that computes node-update and root-completion
-times directly.
+per-persist recurrence that advances the clock **directly to the next
+completion event** — an engine lane freeing, a pipeline stage draining,
+a WPQ slot releasing, an epoch completing — instead of polling lanes
+cycle by cycle.  Lane state is held as plain integers and integer
+arrays (one busy-until timestamp per BMT level, a ring of WPQ release
+times), so a wait is a single comparison and a node update a single
+addition:
 
 * sequential (sp):   ``done = max(arrival, engine_free) + Σ level costs``
 * pipeline:          ``t(i, L) = max(t(i, L+1), t(i-1, L)) + cost(L)``
@@ -16,6 +21,16 @@ times directly.
 * unordered:         the strawman — stores do not wait for the root at
   all (completion == arrival); node updates still occupy the engine.
 
+Every wait and every latency flows through two clock primitives —
+:meth:`ScoreboardBase._wait_until` and :meth:`ScoreboardBase._elapse` —
+which the skip-ahead family resolves with plain arithmetic.  The
+per-cycle reference family in :mod:`repro.core.stepped` overrides only
+those primitives to consume cycles one at a time, so both families make
+identical scheduling decisions and the differential harness
+(``tests/test_engine_differential.py``) can assert bit-identical
+results and telemetry streams.  :func:`make_scoreboard` selects the
+family via ``engine=`` (``SystemConfig.engine``).
+
 All scoreboards share the BMT cache for miss modelling, and report node
 update counts, so coalescing's update reduction (~26 % in the paper) is
 measured, not assumed.
@@ -23,9 +38,9 @@ measured, not assumed.
 
 from __future__ import annotations
 
-from collections import deque
+from array import array
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.coalescing import CoalescedPersist, CoalescingUnit
 from repro.core.schemes import UpdateScheme
@@ -35,6 +50,13 @@ from repro.telemetry.events import EventKind, level_track
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.bus import Telemetry
+
+ENGINE_KINDS = ("skip_ahead", "stepped")
+"""Timing-engine families: the event-queue default and the per-cycle
+reference oracle (see :mod:`repro.core.stepped`)."""
+
+_RING_COMPACT_THRESHOLD = 1024
+"""Released-slot prefix length that triggers ring-buffer compaction."""
 
 
 @dataclass
@@ -51,41 +73,55 @@ class OccupancyRing:
     """FIFO structural-hazard model (WPQ/PTT slot availability).
 
     Entries are admitted with a known release time; when the ring is
-    full, a new admission waits for the oldest entry to release.
+    full, a new admission waits for the oldest entry to release.  The
+    release times live in a packed integer array with a head index —
+    per-lane integer state the skip-ahead engine reads with one index
+    operation, no per-cycle polling and no boxed deque nodes.
     """
 
-    __slots__ = ("capacity", "_releases")
+    __slots__ = ("capacity", "_releases", "_head")
 
     def __init__(self, capacity: int) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._releases: Deque[int] = deque()
+        self._releases = array("q")
+        self._head = 0
 
     def admit(self, now: int) -> int:
         """Earliest cycle at which a slot is free (>= now)."""
-        while self._releases and self._releases[0] <= now:
-            self._releases.popleft()
-        if len(self._releases) < self.capacity:
+        releases = self._releases
+        head = self._head
+        length = len(releases)
+        while head < length and releases[head] <= now:
+            head += 1
+        self._head = head
+        if length - head < self.capacity:
             return now
-        return self._releases[len(self._releases) - self.capacity]
+        return releases[length - self.capacity]
 
     def occupy(self, release_time: int) -> None:
         """Record an admitted entry that frees its slot at ``release_time``."""
-        if self._releases and release_time < self._releases[-1]:
+        releases = self._releases
+        if len(releases) > self._head and release_time < releases[-1]:
             # FIFO slots release in order even if work completes early.
-            release_time = self._releases[-1]
-        self._releases.append(release_time)
+            release_time = releases[-1]
+        releases.append(release_time)
+        if self._head >= _RING_COMPACT_THRESHOLD:
+            del releases[: self._head]
+            self._head = 0
 
     def occupancy(self, now: int) -> int:
         """Entries still resident at cycle ``now``.
 
         Read-only on purpose: telemetry probes sample at times that may
-        run ahead of the admit clock, and popping released slots here
+        run ahead of the admit clock, and dropping released slots here
         would perturb a later :meth:`admit` — observation must not feed
         back into timing.
         """
-        return sum(1 for release in self._releases if release > now)
+        releases = self._releases
+        head = self._head
+        return sum(1 for i in range(head, len(releases)) if releases[i] > now)
 
 
 class ScoreboardBase:
@@ -107,6 +143,20 @@ class ScoreboardBase:
         self.node_update_count = 0
         self.bmt_cache_misses = 0
         self.timings: List[PersistTiming] = []
+
+    # ------------------------------------------------------------------
+    # clock primitives (the only place the two engine families differ)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _wait_until(now: int, ready: int) -> int:
+        """Advance the clock directly to a pending event (skip-ahead)."""
+        return ready if ready > now else now
+
+    @staticmethod
+    def _elapse(start: int, cycles: int) -> int:
+        """Complete ``cycles`` of latency in one jump (skip-ahead)."""
+        return start + cycles
 
     def _emit_serial_spans(
         self, persist_id: int, start: int, costs: Sequence[int]
@@ -180,8 +230,9 @@ class SequentialScoreboard(ScoreboardBase):
     def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
         path = self.geometry.path_tuple(leaf_index)
         costs = self._level_costs(path)
-        start = max(arrival, self._engine_free)
-        completion = start + sum(costs)
+        # One lane: wait for the engine to free, then walk the path.
+        start = self._wait_until(arrival, self._engine_free)
+        completion = self._elapse(start, sum(costs))
         self._engine_free = completion
         self._emit_serial_spans(persist_id, start, costs)
         return self._record(persist_id, arrival, completion, len(path))
@@ -195,8 +246,9 @@ class PipelineScoreboard(ScoreboardBase):
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
-        # level -> completion time of the most recent update at that level
-        self._level_done: Dict[int, int] = {}
+        # One busy-until timestamp per BMT level, indexed by level: the
+        # per-lane integer-array state the skip-ahead engine jumps on.
+        self._level_done = array("q", bytes(8 * (self.geometry.depth + 1)))
 
     def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
         path = self.geometry.path_tuple(leaf_index)
@@ -204,12 +256,14 @@ class PipelineScoreboard(ScoreboardBase):
         t = arrival
         level_done = self._level_done
         tel = self.telemetry
+        wait_until = self._wait_until
+        elapse = self._elapse
         # The path runs leaf (depth) to root (0), so the level of
         # path[i] is simply depth - i — no label arithmetic needed.
         level = self.geometry.depth
         for cost in costs:
-            start = max(t, level_done.get(level, 0))
-            t = start + cost
+            start = wait_until(t, level_done[level])
+            t = elapse(start, cost)
             level_done[level] = t
             if tel is not None:
                 tel.emit(
@@ -224,7 +278,7 @@ class PipelineScoreboard(ScoreboardBase):
 
     def engine_busy_until(self) -> int:
         # A demand verification enters at the leaf stage.
-        return self._level_done.get(self.geometry.depth, 0)
+        return self._level_done[self.geometry.depth]
 
 
 class SGXPathScoreboard(SequentialScoreboard):
@@ -244,9 +298,9 @@ class SGXPathScoreboard(SequentialScoreboard):
     def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
         path = self.geometry.path_tuple(leaf_index)
         costs = self._level_costs(path)
-        start = max(arrival, self._engine_free)
+        start = self._wait_until(arrival, self._engine_free)
         persist_cost = len(path) * self.node_persist_cycles
-        completion = start + sum(costs) + persist_cost
+        completion = self._elapse(start, sum(costs) + persist_cost)
         self._engine_free = completion
         self.path_persists += len(path)
         self._emit_serial_spans(persist_id, start, costs)
@@ -283,8 +337,9 @@ class OutOfOrderScoreboard(ScoreboardBase):
         self.wpq_ring = wpq_ring
         self.last_issue_time = 0
         self._port_free = 0
-        # Root-update completion frontier per closed epoch, in order.
-        self._epoch_done: List[int] = []
+        # Root-update completion frontier per closed epoch, in order —
+        # the epoch-drain event timestamps the ETT gates wait on.
+        self._epoch_done = array("q")
 
     def _epoch_gates(self) -> Tuple[int, int]:
         """(admission gate, root-order gate) for the next epoch.
@@ -305,9 +360,8 @@ class OutOfOrderScoreboard(ScoreboardBase):
             return None
         epoch_id = len(self._epoch_done)
         tel.emit(EventKind.EPOCH_OPEN, start_floor, "epochs", ident=epoch_id)
-        inflight = 1 + sum(
-            1 for t in self._epoch_done[-self.ett_capacity :] if t > start_floor
-        )
+        recent = self._epoch_done[-self.ett_capacity :]
+        inflight = 1 + sum(1 for t in recent if t > start_floor)
         tel.sample(
             "ett.utilization",
             start_floor,
@@ -330,7 +384,7 @@ class OutOfOrderScoreboard(ScoreboardBase):
         issues almost never collide (the pipelined MAC units give o3 its
         one-update-per-cycle throughput, §IV-B1).
         """
-        first = max(start, self._port_free)
+        first = self._wait_until(start, self._port_free)
         self._port_free = first + 1
         return first
 
@@ -347,18 +401,21 @@ class OutOfOrderScoreboard(ScoreboardBase):
             Per-persist timings (root-ack completion times).
         """
         admission, root_gate = self._epoch_gates()
-        start_floor = max(arrival, admission)
+        start_floor = self._wait_until(arrival, admission)
         epoch_span = self._open_epoch_span(start_floor)
         results = []
         epoch_frontier = start_floor
+        wait_until = self._wait_until
+        elapse = self._elapse
         for persist_id, leaf_index in persists:
             start = self._admit_wpq(start_floor)
             path = self.geometry.path_tuple(leaf_index)
             costs = self._level_costs(path)
             first_issue = self._issue(start, len(path))
-            path_done = first_issue + sum(costs)
-            completion = max(path_done, root_gate)
-            epoch_frontier = max(epoch_frontier, completion)
+            path_done = elapse(first_issue, sum(costs))
+            completion = wait_until(path_done, root_gate)
+            if completion > epoch_frontier:
+                epoch_frontier = completion
             self._release_wpq(completion)
             self._emit_serial_spans(persist_id, first_issue, costs)
             results.append(
@@ -371,10 +428,12 @@ class OutOfOrderScoreboard(ScoreboardBase):
     def _admit_wpq(self, floor: int) -> int:
         """Gate a persist on a WPQ slot; tracks the core-visible stall."""
         if self.wpq_ring is None:
-            self.last_issue_time = max(self.last_issue_time, floor)
+            if floor > self.last_issue_time:
+                self.last_issue_time = floor
             return floor
-        admit = max(floor, self.wpq_ring.admit(floor))
-        self.last_issue_time = max(self.last_issue_time, admit)
+        admit = self._wait_until(floor, self.wpq_ring.admit(floor))
+        if admit > self.last_issue_time:
+            self.last_issue_time = admit
         return admit
 
     def _release_wpq(self, completion: int) -> None:
@@ -396,7 +455,7 @@ class CoalescingScoreboard(OutOfOrderScoreboard):
         self, persists: Sequence[Tuple[int, int]], arrival: int
     ) -> List[PersistTiming]:
         admission, root_gate = self._epoch_gates()
-        start_floor = max(arrival, admission)
+        start_floor = self._wait_until(arrival, admission)
         epoch_span = self._open_epoch_span(start_floor)
         self._coalescer.now = start_floor
         coalesced = self._coalescer.coalesce_epoch(persists)
@@ -406,14 +465,13 @@ class CoalescingScoreboard(OutOfOrderScoreboard):
 
         # First pass: own-path completion for every persist.
         own_done: Dict[int, int] = {}
-        starts: Dict[int, int] = {}
+        elapse = self._elapse
         for persist in coalesced:
             start = self._admit_wpq(start_floor)
-            starts[persist.persist_id] = start
             if persist.path:
                 costs = self._level_costs(persist.path)
                 first_issue = self._issue(start, len(persist.path))
-                own_done[persist.persist_id] = first_issue + sum(costs)
+                own_done[persist.persist_id] = elapse(first_issue, sum(costs))
                 self._emit_serial_spans(persist.persist_id, first_issue, costs)
             else:
                 own_done[persist.persist_id] = start
@@ -422,11 +480,14 @@ class CoalescingScoreboard(OutOfOrderScoreboard):
         # delegate's root update; root ordering gated on the prior epoch.
         results = []
         epoch_frontier = start_floor
+        wait_until = self._wait_until
+        finals = CoalescingUnit.resolve_delegates(coalesced)
         for persist in coalesced:
-            final = CoalescingUnit.resolve_delegate(coalesced, persist.persist_id)
-            path_done = max(own_done[persist.persist_id], own_done[final])
-            completion = max(path_done, root_gate)
-            epoch_frontier = max(epoch_frontier, completion)
+            final = finals[persist.persist_id]
+            path_done = wait_until(own_done[persist.persist_id], own_done[final])
+            completion = wait_until(path_done, root_gate)
+            if completion > epoch_frontier:
+                epoch_frontier = completion
             self._release_wpq(completion)
             results.append(
                 self._record(
@@ -447,27 +508,45 @@ def make_scoreboard(
     ett_capacity: int = 2,
     wpq_ring: Optional[OccupancyRing] = None,
     telemetry: "Optional[Telemetry]" = None,
+    engine: str = "skip_ahead",
 ) -> ScoreboardBase:
     """Build the scoreboard matching a scheme.
 
     ``secure_wb`` uses the sequential scoreboard (the paper notes that
     evicted dirty blocks update the BMT sequentially in the baseline).
+    ``engine`` selects the timing family: ``"skip_ahead"`` (event-queue
+    default) or ``"stepped"`` (the per-cycle reference oracle from
+    :mod:`repro.core.stepped`); both produce bit-identical timings.
     """
+    if engine not in ENGINE_KINDS:
+        raise ValueError(
+            f"engine must be one of {ENGINE_KINDS}, got {engine!r}"
+        )
+    if engine == "stepped":
+        from repro.core.stepped import STEPPED_SCOREBOARDS
+
+        classes = STEPPED_SCOREBOARDS
+    else:
+        classes = SCOREBOARDS
     args = (geometry, mac_latency, bmt_miss_latency, metadata, telemetry)
     if scheme in (UpdateScheme.SP, UpdateScheme.SECURE_WB):
-        return SequentialScoreboard(*args)
-    if scheme is UpdateScheme.SGX_SP:
-        return SGXPathScoreboard(*args)
-    if scheme is UpdateScheme.PIPELINE:
-        return PipelineScoreboard(*args)
-    if scheme is UpdateScheme.UNORDERED:
-        return UnorderedScoreboard(*args)
-    if scheme is UpdateScheme.O3:
-        return OutOfOrderScoreboard(
+        return classes[UpdateScheme.SP](*args)
+    if scheme in (UpdateScheme.O3, UpdateScheme.COALESCING):
+        return classes[scheme](
             *args, ett_capacity=ett_capacity, wpq_ring=wpq_ring
         )
-    if scheme is UpdateScheme.COALESCING:
-        return CoalescingScoreboard(
-            *args, ett_capacity=ett_capacity, wpq_ring=wpq_ring
-        )
-    raise ValueError(f"no scoreboard for scheme {scheme}")
+    try:
+        return classes[scheme](*args)
+    except KeyError:
+        raise ValueError(f"no scoreboard for scheme {scheme}") from None
+
+
+SCOREBOARDS: Dict[UpdateScheme, type] = {
+    UpdateScheme.SP: SequentialScoreboard,
+    UpdateScheme.SGX_SP: SGXPathScoreboard,
+    UpdateScheme.PIPELINE: PipelineScoreboard,
+    UpdateScheme.UNORDERED: UnorderedScoreboard,
+    UpdateScheme.O3: OutOfOrderScoreboard,
+    UpdateScheme.COALESCING: CoalescingScoreboard,
+}
+"""Skip-ahead scoreboard class per scheme (``secure_wb`` maps to SP)."""

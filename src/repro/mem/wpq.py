@@ -33,6 +33,38 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.bus import Telemetry
 
 
+def gather_before_release_violations(events) -> List[int]:
+    """Check the 2SP invariant on a telemetry event stream.
+
+    A persist's WPQ entry may only be *released* (``WPQ_RELEASE``) after
+    it was *gathered* (``WPQ_ENQUEUE``) — releasing a persist that was
+    never enqueued, or whose release is stamped before its enqueue,
+    would let tuple blocks drain to NVM before the entry was locked in
+    the persistence domain.  Used by the property and differential test
+    suites to validate event streams from either timing engine.
+
+    Args:
+        events: Iterable of :class:`~repro.telemetry.events.TraceEvent`
+            (any track; non-WPQ events are ignored), in emission order.
+
+    Returns:
+        Persist IDs whose release violates the invariant, in the order
+        the offending releases appear.  Empty means the stream is clean.
+    """
+    enqueued_at: Dict[int, int] = {}
+    violations: List[int] = []
+    for event in events:
+        if event.kind is EventKind.WPQ_ENQUEUE:
+            # First enqueue wins: re-enqueueing the same persist id is
+            # not part of the 2SP protocol and must not reset the check.
+            enqueued_at.setdefault(event.ident, event.time)
+        elif event.kind is EventKind.WPQ_RELEASE:
+            gathered = enqueued_at.get(event.ident)
+            if gathered is None or event.time < gathered:
+                violations.append(event.ident)
+    return violations
+
+
 class TupleItem(enum.Enum):
     """Components of the crash-recovery memory tuple (C, γ, M, R)."""
 

@@ -91,7 +91,19 @@ class SystemConfig:
     Never affects simulation results and is excluded from result-cache
     keys, so toggling it cannot invalidate or fork cached sweeps."""
 
+    # Timing engine.
+    engine: str = "skip_ahead"
+    """Timing-engine family: ``"skip_ahead"`` (event-queue, the default)
+    or ``"stepped"`` (the per-cycle reference oracle).  Both produce
+    bit-identical ``SimResult``s and telemetry streams — the stepped
+    family exists to validate the skip-ahead arithmetic — so, like
+    ``telemetry``, this knob is excluded from result-cache keys."""
+
     def __post_init__(self) -> None:
+        if self.engine not in ("skip_ahead", "stepped"):
+            raise ValueError(
+                f"engine must be 'skip_ahead' or 'stepped', got {self.engine!r}"
+            )
         if self.mac_latency < 0:
             raise ValueError("mac_latency must be non-negative")
         if self.memory_bytes % PAGE_BYTES:

@@ -18,6 +18,13 @@ advances a core-cycle clock:
     boundary flushes the epoch's unique dirty blocks as persists through
     the OOO/coalescing scoreboard, gated by the 2-entry ETT.
 
+BMT update timing runs on the scheme's scoreboard, in the engine family
+selected by ``SystemConfig.engine``: the skip-ahead event-queue engine
+(default) jumps the clock straight to each pending completion event,
+while the per-cycle ``"stepped"`` reference burns every cycle and acts
+as the validation oracle — both are bit-identical by construction (see
+:mod:`repro.core.schedulers` and :mod:`repro.core.stepped`).
+
 The result reports total cycles, IPC, and persists-per-kilo-instruction
 (Table V's PPKI metric).
 """
@@ -186,6 +193,7 @@ class TraceSimulator:
             ett_capacity=config.ett_entries,
             wpq_ring=self.wpq_ring if self.scheme.uses_epochs else None,
             telemetry=self.telemetry,
+            engine=config.engine,
         )
         self.epochs = (
             EpochTracker(config.epoch_size) if self.scheme.uses_epochs else None

@@ -412,17 +412,32 @@ class MemoryTrace:
             )
         trace = cls()
         offset = _HEADER.size
-        trace.name = blob[offset : offset + name_len].decode("utf-8")
+        if len(blob) < offset + name_len:
+            raise TraceFormatError(
+                f"binary trace truncated inside the name: header promises "
+                f"{name_len} name bytes, payload has {len(blob) - offset}"
+            )
+        try:
+            trace.name = blob[offset : offset + name_len].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(f"binary trace name is not UTF-8: {exc}") from None
         offset += name_len
         expected = offset + sum(col.itemsize for col in trace._columns()) * count
         if len(blob) != expected:
             raise TraceFormatError(
                 f"binary trace payload is {len(blob)} bytes; header implies {expected}"
             )
-        for col in trace._columns():
-            size = col.itemsize * count
-            col.frombytes(blob[offset : offset + size])
-            offset += size
+        try:
+            for col in trace._columns():
+                size = col.itemsize * count
+                col.frombytes(blob[offset : offset + size])
+                offset += size
+        except ValueError:
+            # Unreachable after the size check above (slices are exact
+            # item multiples), but array-level errors must never escape.
+            raise TraceFormatError(
+                f"binary trace columns corrupt: header promised {count} records"
+            ) from None
         if _BIG_ENDIAN:
             for col in trace._columns():
                 col.byteswap()
@@ -470,7 +485,12 @@ class MemoryTrace:
             name_bytes = fh.read(name_len)
             if len(name_bytes) < name_len:
                 raise TraceFormatError(f"binary trace {path!s} truncated inside the name")
-            trace.name = name_bytes.decode("utf-8")
+            try:
+                trace.name = name_bytes.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise TraceFormatError(
+                    f"binary trace name in {path!s} is not UTF-8: {exc}"
+                ) from None
             try:
                 for col in trace._columns():
                     col.fromfile(fh, count)

@@ -188,6 +188,7 @@ def full_grid_cells():
     return grid, cells, report
 
 
+@pytest.mark.slow
 def test_compliant_schemes_never_fail_anywhere(full_grid_cells):
     _, cells, _ = full_grid_cells
     for cell in cells:
@@ -201,17 +202,20 @@ def test_compliant_schemes_never_fail_anywhere(full_grid_cells):
         assert not cell.problems
 
 
+@pytest.mark.slow
 def test_zero_silent_corruption_in_compliant_schemes(full_grid_cells):
     _, cells, _ = full_grid_cells
     silent = [c for c in cells if c.compliant and c.consistent and not c.intent_ok]
     assert silent == []
 
 
+@pytest.mark.slow
 def test_campaign_verify_passes_on_full_grid(full_grid_cells):
     _, cells, _ = full_grid_cells
     verify_campaign(cells)
 
 
+@pytest.mark.slow
 def test_tables_regenerate_from_campaign(full_grid_cells):
     _, cells, _ = full_grid_cells
     t1 = table1(cells).render()
@@ -222,6 +226,7 @@ def test_tables_regenerate_from_campaign(full_grid_cells):
     assert "unordered" in summary
 
 
+@pytest.mark.slow
 def test_verify_flags_forged_silent_corruption(full_grid_cells):
     _, cells, _ = full_grid_cells
     import copy
@@ -234,6 +239,7 @@ def test_verify_flags_forged_silent_corruption(full_grid_cells):
         verify_campaign(forged)
 
 
+@pytest.mark.slow
 def test_verify_flags_table_mismatch(full_grid_cells):
     _, cells, _ = full_grid_cells
     import copy
@@ -258,6 +264,7 @@ def test_verify_flags_table_mismatch(full_grid_cells):
 # ----------------------------------------------------------------------
 
 
+@pytest.mark.slow
 def test_parallel_matches_sequential_cold_and_warm(tmp_path, full_grid_cells):
     grid, sequential_cells, _ = full_grid_cells
     subset = grid[:: max(1, len(grid) // 60)]  # spread across schemes

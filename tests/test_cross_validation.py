@@ -32,9 +32,12 @@ def run_engine(scheme, leaves, epochs=None, mac=40):
     return engine
 
 
-def run_scoreboard(scheme, leaves, epochs=None, mac=40):
+ENGINES = ["skip_ahead", "stepped"]
+
+
+def run_scoreboard(scheme, leaves, epochs=None, mac=40, engine="skip_ahead"):
     geometry = BMTGeometry(num_leaves=512, arity=8)
-    sb = make_scoreboard(scheme, geometry, mac_latency=mac)
+    sb = make_scoreboard(scheme, geometry, mac_latency=mac, engine=engine)
     if scheme.uses_epochs:
         completions = {}
         by_epoch = {}
@@ -50,23 +53,25 @@ def run_scoreboard(scheme, leaves, epochs=None, mac=40):
     return completions, sb
 
 
+@pytest.mark.parametrize("engine_kind", ENGINES)
 @pytest.mark.parametrize("scheme", [UpdateScheme.SP, UpdateScheme.PIPELINE])
-def test_strict_schemes_agree_exactly(scheme):
+def test_strict_schemes_agree_exactly(scheme, engine_kind):
     rng = random.Random(42)
     leaves = [rng.randrange(512) for _ in range(24)]
     engine = run_engine(scheme, leaves)
-    completions, sb = run_scoreboard(scheme, leaves)
+    completions, sb = run_scoreboard(scheme, leaves, engine=engine_kind)
     assert engine.completions == completions
     assert engine.node_update_count == sb.node_update_count
 
 
+@pytest.mark.parametrize("engine_kind", ENGINES)
 @pytest.mark.parametrize("scheme", [UpdateScheme.O3, UpdateScheme.COALESCING])
-def test_epoch_schemes_agree_within_tolerance(scheme):
+def test_epoch_schemes_agree_within_tolerance(scheme, engine_kind):
     rng = random.Random(43)
     leaves = [rng.randrange(512) for _ in range(24)]
     epochs = [i // 8 for i in range(24)]
     engine = run_engine(scheme, leaves, epochs)
-    completions, sb = run_scoreboard(scheme, leaves, epochs)
+    completions, sb = run_scoreboard(scheme, leaves, epochs, engine=engine_kind)
     assert engine.node_update_count == sb.node_update_count
     assert set(engine.completions) == set(completions)
     for pid in completions:
@@ -92,6 +97,47 @@ def test_sequential_agreement_with_gaps():
     engine.run_until_drained()
     sb_t1 = sb.submit(1, 9, arrival=1000).completion
     assert engine.completions[1] == sb_t1
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    [
+        UpdateScheme.SP,
+        UpdateScheme.PIPELINE,
+        UpdateScheme.UNORDERED,
+        UpdateScheme.O3,
+        UpdateScheme.COALESCING,
+    ],
+)
+def test_skip_idle_fast_forward_is_invisible(scheme):
+    """run_until_drained(skip_idle=True) must not change any outcome.
+
+    The fast-forward only jumps over ticks in which nothing progressed,
+    so completions, node-update counts, and the final drain cycle must
+    all match the plain per-cycle run exactly.
+    """
+    rng = random.Random(44)
+    leaves = [rng.randrange(512) for _ in range(24)]
+    epochs = [i // 8 for i in range(24)] if scheme.uses_epochs else None
+    geometry = BMTGeometry(num_leaves=512, arity=8)
+
+    def build():
+        engine = CycleAccurateEngine(
+            geometry, EngineConfig(scheme=scheme, mac_latency=40, ptt_capacity=256)
+        )
+        for i, leaf in enumerate(leaves):
+            while not engine.submit(i, leaf, epoch_id=epochs[i] if epochs else 0):
+                engine.tick()
+        return engine
+
+    plain = build()
+    plain.run_until_drained()
+    fast = build()
+    fast.run_until_drained(skip_idle=True)
+    assert fast.completions == plain.completions
+    assert fast.node_update_count == plain.node_update_count
+    assert fast.bmt_cache_misses == plain.bmt_cache_misses
+    assert fast.now == plain.now
 
 
 def test_pipeline_agreement_with_staggered_arrivals():

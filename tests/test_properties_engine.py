@@ -1,0 +1,192 @@
+"""Property-based tests (hypothesis) for the timing-engine invariants.
+
+Generated persist streams and event schedules check the properties the
+skip-ahead rewrite must preserve:
+
+* **Invariant 2** — persist completion order matches program order
+  under strict persistency (SP / pipelined SP), and epochs drain in
+  program order under epoch persistency;
+* **2SP gathering** — a WPQ entry is always gathered (enqueued) before
+  it is released, on the telemetry streams of either engine family;
+* **monotone clock** — the discrete-event queue never runs time
+  backwards, and a :class:`CompletionHeap` releases completions in
+  non-decreasing order.
+
+``hypothesis`` is an optional test dependency: without it this module
+skips cleanly (``pip install plp-repro[dev]`` brings it in).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.schedulers import OccupancyRing, make_scoreboard
+from repro.core.schemes import UpdateScheme
+from repro.crypto.bmt import BMTGeometry
+from repro.mem.wpq import gather_before_release_violations
+from repro.sim.engine import CompletionHeap, Engine
+from repro.system.config import SystemConfig
+from repro.system.timing import TraceSimulator
+from repro.telemetry.config import TelemetryConfig
+from repro.workloads.trace import KIND_SFENCE, KIND_STORE, MemoryTrace
+
+GEOMETRY = BMTGeometry(num_leaves=512, arity=8)
+
+leaf_streams = st.lists(st.integers(0, 511), min_size=1, max_size=32)
+gap_streams = st.lists(st.integers(0, 500), min_size=1, max_size=32)
+ENGINES = ["skip_ahead", "stepped"]
+
+
+# ----------------------------------------------------------------------
+# Invariant 2: completion order == program order (strict persistency)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("scheme", [UpdateScheme.SP, UpdateScheme.PIPELINE])
+@given(leaves=leaf_streams, gaps=gap_streams)
+@settings(max_examples=30, deadline=None)
+def test_strict_completions_follow_program_order(scheme, engine, leaves, gaps):
+    sb = make_scoreboard(scheme, GEOMETRY, engine=engine)
+    arrival = 0
+    completions = []
+    for i, leaf in enumerate(leaves):
+        arrival += gaps[i % len(gaps)]
+        completions.append(sb.submit(i, leaf, arrival).completion)
+    assert completions == sorted(completions), (
+        "Invariant 2 violated: a younger persist completed before an older one"
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("scheme", [UpdateScheme.O3, UpdateScheme.COALESCING])
+@given(leaves=leaf_streams, epoch_size=st.integers(1, 8), gap=st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_epochs_drain_in_program_order(scheme, engine, leaves, epoch_size, gap):
+    """Under EP, whole epochs complete in order even if persists inside
+    one epoch complete out of order (the per-epoch drain frontier is
+    non-decreasing, and no persist completes before the prior epoch)."""
+    sb = make_scoreboard(scheme, GEOMETRY, engine=engine)
+    frontiers = []
+    arrival = 0
+    for start in range(0, len(leaves), epoch_size):
+        chunk = [
+            (start + j, leaf)
+            for j, leaf in enumerate(leaves[start : start + epoch_size])
+        ]
+        timings = sb.submit_epoch(chunk, arrival)
+        if frontiers:
+            prior = frontiers[-1]
+            assert all(t.completion >= prior for t in timings), (
+                "a persist completed before the previous epoch drained"
+            )
+        frontiers.append(max(t.completion for t in timings))
+        arrival += gap
+    assert frontiers == sorted(frontiers)
+
+
+# ----------------------------------------------------------------------
+# 2SP: gather before release (on real telemetry streams)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize(
+    "scheme", [UpdateScheme.SP, UpdateScheme.O3, UpdateScheme.SECURE_WB]
+)
+@given(ops=st.lists(st.tuples(st.integers(0, 1 << 20), st.booleans()), min_size=1, max_size=60), data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_wpq_gather_before_release(scheme, engine, ops, data):
+    trace = MemoryTrace(name="prop")
+    for address, fence in ops:
+        trace.append_op(KIND_STORE, address << 6, gap=1, persistent=1)
+        if fence:
+            trace.append_op(KIND_SFENCE)
+    config = SystemConfig(
+        scheme=scheme,
+        engine=engine,
+        epoch_size=data.draw(st.integers(2, 16)),
+        telemetry=TelemetryConfig(enabled=True),
+    )
+    sim = TraceSimulator(config)
+    sim.run(trace, warmup_fraction=0.0)
+    assert gather_before_release_violations(sim.telemetry.events()) == []
+
+
+# ----------------------------------------------------------------------
+# monotone clocks
+# ----------------------------------------------------------------------
+
+
+@given(delays=st.lists(st.integers(0, 1000), min_size=1, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_event_queue_clock_is_monotone(delays):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, lambda: fired.append(engine.now))
+    engine.run()
+    assert fired == sorted(fired)
+    assert engine.now == max(delays)
+
+
+@given(
+    delays=st.lists(st.tuples(st.integers(0, 100), st.integers(0, 100)), min_size=1, max_size=30)
+)
+@settings(max_examples=50, deadline=None)
+def test_nested_scheduling_keeps_clock_monotone(delays):
+    """Callbacks that schedule further events never move time backwards."""
+    engine = Engine()
+    fired = []
+
+    def chain(extra):
+        fired.append(engine.now)
+        engine.schedule(extra, lambda: fired.append(engine.now))
+
+    for first, extra in delays:
+        engine.schedule(first, lambda extra=extra: chain(extra))
+    engine.run()
+    assert fired == sorted(fired)
+
+
+@given(times=st.lists(st.integers(0, 10**9), min_size=1, max_size=100), data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_completion_heap_releases_in_order(times, data):
+    heap = CompletionHeap()
+    for t in times:
+        heap.push(t)
+    assert heap.next_time() == min(times)
+    popped = []
+    while heap:
+        popped.append(heap.pop())
+    assert popped == sorted(times)
+    # release_until drops exactly the entries at or before the cut.
+    heap2 = CompletionHeap()
+    for t in times:
+        heap2.push(t)
+    cut = data.draw(st.integers(0, 10**9))
+    released = heap2.release_until(cut)
+    assert released == sum(1 for t in times if t <= cut)
+    assert len(heap2) == len(times) - released
+
+
+@given(
+    capacity=st.integers(1, 8),
+    releases=st.lists(st.integers(0, 500), min_size=1, max_size=40),
+)
+@settings(max_examples=50, deadline=None)
+def test_occupancy_ring_admits_monotonically(capacity, releases):
+    """Admission times never decrease and occupancy never exceeds capacity."""
+    ring = OccupancyRing(capacity)
+    now = 0
+    last_admit = 0
+    for extra in releases:
+        admit = ring.admit(now)
+        assert admit >= now
+        assert admit >= last_admit or admit >= now
+        ring.occupy(admit + extra)
+        assert ring.occupancy(admit) <= capacity
+        last_admit = admit
+        now = admit

@@ -42,6 +42,7 @@ def _headline(result):
 # ----------------------------------------------------------------------
 
 
+@pytest.mark.slow
 def test_parallel_matches_sequential_cold_and_warm(tmp_path):
     jobs = _jobs()
     sequential, seq_report = run_jobs(jobs, workers=1, cache=False)
@@ -152,6 +153,7 @@ def test_cached_trace_identical_to_fresh_build():
     assert list(cached) == list(fresh)
 
 
+@pytest.mark.slow
 def test_run_matrix_shape(tmp_path):
     grid, report = run_matrix(
         ["gamess", "gcc"], ["secure_wb", "sp"], KI, cache=str(tmp_path)

@@ -261,6 +261,56 @@ def test_binary_truncated_payload_raises(tmp_path):
         MemoryTrace.from_bytes(blob[:-5])
 
 
+def test_bytes_roundtrip_zero_op_trace():
+    trace = MemoryTrace(name="zero-ops")
+    restored = MemoryTrace.from_bytes(trace.to_bytes())
+    assert len(restored) == 0
+    assert restored.name == "zero-ops"
+
+
+def test_from_bytes_truncated_inside_name_raises():
+    """A payload cut inside the name must raise TraceFormatError, not
+    decode garbage or leak a UnicodeDecodeError."""
+    trace = MemoryTrace(SAMPLE, name="a-rather-long-trace-name")
+    blob = trace.to_bytes()
+    with pytest.raises(TraceFormatError, match="name"):
+        MemoryTrace.from_bytes(blob[:30])  # header (24 B) + partial name
+
+
+def test_from_bytes_non_utf8_name_raises():
+    trace = MemoryTrace(SAMPLE, name="ascii")
+    blob = bytearray(trace.to_bytes())
+    blob[24:29] = b"\xff\xfe\xff\xfe\xff"  # clobber the 5-byte name
+    with pytest.raises(TraceFormatError, match="UTF-8"):
+        MemoryTrace.from_bytes(bytes(blob))
+
+
+def test_from_bytes_cut_mid_column_raises():
+    """Truncation landing mid-item in a column is a format error."""
+    trace = MemoryTrace(SAMPLE, name="midcol")
+    blob = trace.to_bytes()
+    with pytest.raises(TraceFormatError, match="header implies"):
+        MemoryTrace.from_bytes(blob[:-3])  # not an item multiple
+    with pytest.raises(TraceFormatError, match="header implies"):
+        MemoryTrace.from_bytes(blob[: len(blob) - len(SAMPLE) * 8 // 2])
+
+
+def test_from_bytes_oversized_payload_raises():
+    trace = MemoryTrace(SAMPLE, name="extra")
+    with pytest.raises(TraceFormatError, match="header implies"):
+        MemoryTrace.from_bytes(trace.to_bytes() + b"\x00" * 7)
+
+
+def test_load_binary_non_utf8_name_raises(tmp_path):
+    trace = MemoryTrace(SAMPLE, name="ascii")
+    blob = bytearray(trace.to_bytes())
+    blob[24:29] = b"\xff\xfe\xff\xfe\xff"
+    path = tmp_path / "garbled.bin"
+    path.write_bytes(bytes(blob))
+    with pytest.raises(TraceFormatError, match="UTF-8"):
+        MemoryTrace.load_binary(path)
+
+
 def test_binary_unsupported_version_raises(tmp_path):
     trace = MemoryTrace(SAMPLE, name="ver")
     blob = bytearray(trace.to_bytes())
