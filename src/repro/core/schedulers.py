@@ -39,6 +39,7 @@ measured, not assumed.
 from __future__ import annotations
 
 from array import array
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -51,9 +52,13 @@ from repro.telemetry.events import EventKind, level_track
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.bus import Telemetry
 
-ENGINE_KINDS = ("skip_ahead", "stepped")
-"""Timing-engine families: the event-queue default and the per-cycle
-reference oracle (see :mod:`repro.core.stepped`)."""
+ENGINE_KINDS = ("batched", "skip_ahead", "stepped")
+"""Timing-engine families: the array-native batched engine (default,
+see :mod:`repro.sim.batched`), the scalar skip-ahead event-queue
+engine, and the per-cycle reference oracle (see
+:mod:`repro.core.stepped`).  The batched engine dispatches its eventful
+ops through the skip-ahead scoreboards, so both map to the same
+scoreboard classes here."""
 
 _RING_COMPACT_THRESHOLD = 1024
 """Released-slot prefix length that triggers ring-buffer compaction."""
@@ -118,10 +123,14 @@ class OccupancyRing:
         run ahead of the admit clock, and dropping released slots here
         would perturb a later :meth:`admit` — observation must not feed
         back into timing.
+
+        The suffix past ``_head`` is non-decreasing (``occupy`` clamps
+        each release to the FIFO frontier, and ``admit`` only ever moves
+        the head forward), so residency is a bisection, not a scan —
+        this sits on the telemetry hot path (sampled per persist).
         """
         releases = self._releases
-        head = self._head
-        return sum(1 for i in range(head, len(releases)) if releases[i] > now)
+        return len(releases) - bisect_right(releases, now, self._head)
 
 
 class ScoreboardBase:
@@ -142,7 +151,6 @@ class ScoreboardBase:
         self.telemetry = telemetry
         self.node_update_count = 0
         self.bmt_cache_misses = 0
-        self.timings: List[PersistTiming] = []
 
     # ------------------------------------------------------------------
     # clock primitives (the only place the two engine families differ)
@@ -170,19 +178,9 @@ class ScoreboardBase:
         tel = self.telemetry
         if tel is None:
             return
-        emit = tel.emit
-        level = self.geometry.depth
-        t = start
-        for cost in costs:
-            emit(
-                EventKind.BMT_LEVEL_SPAN,
-                t,
-                level_track(level),
-                ident=persist_id,
-                duration=cost,
-            )
-            t += cost
-            level -= 1
+        tel.span_walk(
+            EventKind.BMT_LEVEL_SPAN, start, costs, persist_id, self.geometry.depth
+        )
 
     def _level_costs(self, path: Sequence[int]) -> List[int]:
         """Per-node update cost (MAC latency + any BMT cache miss)."""
@@ -206,9 +204,7 @@ class ScoreboardBase:
         return costs
 
     def _record(self, persist_id: int, arrival: int, completion: int, updates: int) -> PersistTiming:
-        timing = PersistTiming(persist_id, arrival, completion, updates)
-        self.timings.append(timing)
-        return timing
+        return PersistTiming(persist_id, arrival, completion, updates)
 
     def engine_busy_until(self) -> int:
         """Cycle until which the verification engine is occupied.
@@ -514,9 +510,11 @@ def make_scoreboard(
 
     ``secure_wb`` uses the sequential scoreboard (the paper notes that
     evicted dirty blocks update the BMT sequentially in the baseline).
-    ``engine`` selects the timing family: ``"skip_ahead"`` (event-queue
-    default) or ``"stepped"`` (the per-cycle reference oracle from
-    :mod:`repro.core.stepped`); both produce bit-identical timings.
+    ``engine`` selects the timing family: ``"batched"`` and
+    ``"skip_ahead"`` share the event-queue scoreboards (the batched
+    engine only changes how the trace walk reaches them), while
+    ``"stepped"`` selects the per-cycle reference oracle from
+    :mod:`repro.core.stepped`; all produce bit-identical timings.
     """
     if engine not in ENGINE_KINDS:
         raise ValueError(

@@ -15,7 +15,7 @@ the skip-ahead arithmetic shows up as a mismatch against this model.
 
 Stepped engines are deliberately O(total cycles waited) — orders of
 magnitude slower on real traces (``BENCH_perf.json`` records the gap in
-the ``engine_skip_ahead`` stage).  Use them for validation, not sweeps.
+the ``engine_batched`` stage).  Use them for validation, not sweeps.
 """
 
 from __future__ import annotations

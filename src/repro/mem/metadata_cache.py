@@ -89,12 +89,13 @@ class MetadataCaches:
 
         def make(track: str, cache_access, key_of):
             instant = telemetry.instant
-            clock = lambda: telemetry.clock()  # noqa: E731 - late-bound clock
 
             def access(data_key: int, is_write: bool) -> bool:
                 key = key_of(data_key)
                 hit, victim = cache_access(key, is_write)
-                now = clock()
+                # clock read through the bus each call: the simulator
+                # rebinds ``telemetry.clock`` after instrumentation.
+                now = telemetry.clock()
                 instant(hit_kind if hit else miss_kind, now, track, ident=key)
                 if victim is not None:
                     instant(evict_kind, now, track, ident=victim.block)

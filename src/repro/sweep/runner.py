@@ -22,11 +22,13 @@ Design points:
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -209,6 +211,67 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+# ----------------------------------------------------------------------
+# persistent worker pool
+# ----------------------------------------------------------------------
+#
+# Spawning a ProcessPoolExecutor per sweep made the cold runner *slower*
+# than the sequential path on small matrices: pool spin-up and the first
+# fork dominated the actual simulation work.  The pool is therefore a
+# module-level singleton, created lazily at the first parallel run and
+# reused by every later sweep in the process.  Lazy creation matters
+# beyond spin-up cost: with the fork start method, workers inherit
+# whatever the parent has already warmed (imported modules, in-memory
+# traces and their batched-engine prepass memos) copy-on-write, so a
+# pool created *after* a sequential stage starts with hot caches.
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+pool_spawns = 0
+"""Number of executors created so far (observable worker-reuse proof:
+``tests/test_sweep_runner.py`` asserts back-to-back sweeps share one)."""
+
+
+def _worker_init() -> None:
+    """One-time per-worker setup: resolve the on-disk trace cache handle
+    so the first job in each worker skips the env/root resolution."""
+    _disk_traces()
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared executor, created (or grown) on demand.
+
+    A request for more workers than the current pool has recreates it;
+    a smaller request reuses the existing, larger pool (idle workers
+    are cheap, respawning is not).
+    """
+    global _pool, _pool_workers, pool_spawns
+    if _pool is None or _pool_workers < workers:
+        if _pool is not None:
+            _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_mp_context(),
+            initializer=_worker_init,
+        )
+        _pool_workers = workers
+        pool_spawns += 1
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (atexit hook; tests call it to
+    force a fresh pool)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=True, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)
+
+
 def run_tasks(
     specs: Sequence[Any],
     keys: Sequence[str],
@@ -277,15 +340,26 @@ def run_tasks(
             for key, spec in pending_spec.items():
                 _install(key, execute(spec))
         else:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(pending)), mp_context=_mp_context()
-            ) as pool:
-                futures = {
-                    key: pool.submit(execute, spec)
-                    for key, spec in pending_spec.items()
-                }
-                for key, future in futures.items():
-                    _install(key, future.result())
+            done: set = set()
+            for attempt in (0, 1):
+                pool = _get_pool(workers)
+                try:
+                    futures = {
+                        key: pool.submit(execute, pending_spec[key])
+                        for key in pending
+                        if key not in done
+                    }
+                    for key, future in futures.items():
+                        _install(key, future.result())
+                        done.add(key)
+                    break
+                except BrokenProcessPool:
+                    # A worker died (OOM kill, crash).  Drop the broken
+                    # executor and retry the unfinished keys once on a
+                    # fresh pool; a second break is a real failure.
+                    shutdown_pool()
+                    if attempt:
+                        raise
 
     report.wall_seconds = time.perf_counter() - start
     if any(r is None for r in results):

@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -95,13 +94,21 @@ class TraceCache:
         return trace
 
     def put(self, benchmark: str, kilo_instructions: int, seed: int, trace: MemoryTrace) -> None:
-        """Store a packed trace atomically (write-then-rename)."""
+        """Store a packed trace atomically (write-then-rename).
+
+        The payload is packed once with :meth:`MemoryTrace.to_bytes` and
+        written in a single call — ``save_binary``'s per-column
+        ``tofile`` writes plus a ``mkstemp`` round-trip made the cold
+        cache measurably slower than not caching at all on small traces.
+        The temp name is pid-suffixed, so concurrent writers (sweep
+        workers racing on the same cold key) never collide, and the
+        ``os.replace`` keeps readers crash-consistent.
+        """
         path = self.path_for(trace_key(benchmark, kilo_instructions, seed))
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
-            os.close(fd)
-            trace.save_binary(tmp)
+            tmp.write_bytes(trace.to_bytes())
             os.replace(tmp, path)
         except BaseException:
             try:

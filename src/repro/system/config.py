@@ -92,17 +92,20 @@ class SystemConfig:
     keys, so toggling it cannot invalidate or fork cached sweeps."""
 
     # Timing engine.
-    engine: str = "skip_ahead"
-    """Timing-engine family: ``"skip_ahead"`` (event-queue, the default)
-    or ``"stepped"`` (the per-cycle reference oracle).  Both produce
-    bit-identical ``SimResult``s and telemetry streams — the stepped
-    family exists to validate the skip-ahead arithmetic — so, like
+    engine: str = "batched"
+    """Timing-engine family: ``"batched"`` (array-native independence
+    runs over the packed trace columns, the default), ``"skip_ahead"``
+    (the scalar event-queue engine), or ``"stepped"`` (the per-cycle
+    reference oracle).  All three produce bit-identical ``SimResult``s
+    and telemetry streams — skip_ahead validates the batched partition,
+    stepped validates the skip-ahead arithmetic — so, like
     ``telemetry``, this knob is excluded from result-cache keys."""
 
     def __post_init__(self) -> None:
-        if self.engine not in ("skip_ahead", "stepped"):
+        if self.engine not in ("batched", "skip_ahead", "stepped"):
             raise ValueError(
-                f"engine must be 'skip_ahead' or 'stepped', got {self.engine!r}"
+                "engine must be 'batched', 'skip_ahead' or 'stepped', "
+                f"got {self.engine!r}"
             )
         if self.mac_latency < 0:
             raise ValueError("mac_latency must be non-negative")

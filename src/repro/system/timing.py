@@ -139,7 +139,9 @@ class TraceSimulator:
         "_dirty_window",
         "_dirty_window_capacity",
         "_in_warmup",
-        "_now",
+        "_ticks",
+        "_clock_base",
+        "_clock_ticks0",
         "_cpi",
         "_next_persist_id",
         "_persist_count",
@@ -160,17 +162,28 @@ class TraceSimulator:
             Telemetry(config.telemetry) if config.telemetry.enabled else None
         )
         if self.telemetry is not None:
-            self.telemetry.clock = lambda: int(self._now)
-        self.hierarchy = CacheHierarchy(
-            l1_bytes=config.l1_bytes,
-            l2_bytes=config.l2_bytes,
-            l3_bytes=config.l3_bytes,
-            l1_assoc=config.l1_assoc,
-            l2_assoc=config.l2_assoc,
-            l3_assoc=config.l3_assoc,
-            write_through=self.scheme.write_through,
-            stats=self.stats,
-        )
+            self.telemetry.clock = self._clock_int
+        if config.engine == "batched":
+            # The batched engine replays all replacement state in its
+            # functional prepass (repro.sim.batched) and never touches a
+            # live hierarchy; skip allocating the per-set LRU structures
+            # but register the stat counters in construction order so
+            # ``stats.as_dict()`` carries the same keys either way.
+            self.hierarchy = None
+            for level in ("l1", "l2", "l3"):
+                for suffix in ("hits", "misses", "evictions", "dirty_evictions"):
+                    self.stats.counter(f"{level}.{suffix}")
+        else:
+            self.hierarchy = CacheHierarchy(
+                l1_bytes=config.l1_bytes,
+                l2_bytes=config.l2_bytes,
+                l3_bytes=config.l3_bytes,
+                l1_assoc=config.l1_assoc,
+                l2_assoc=config.l2_assoc,
+                l3_assoc=config.l3_assoc,
+                write_through=self.scheme.write_through,
+                stats=self.stats,
+            )
         self.metadata = MetadataCaches(
             self.geometry,
             counter_bytes=config.counter_cache_bytes,
@@ -211,7 +224,16 @@ class TraceSimulator:
         # _track_dirty); a reserved low region supplies their addresses.
         for i in range(self._dirty_window_capacity):
             self._dirty_window[0x100000 + i * 9] = None
-        self._now = 0.0
+        # The core clock is kept in decomposed form: an integer count of
+        # retire ticks since the last stall, plus the float cycle the
+        # stall anchored at.  ``_clock() = base + (ticks - ticks0) * cpi``
+        # is order-insensitive in the tick count, so the batched engine
+        # can bulk-jump over event-free spans and still read the exact
+        # same float the scalar loop would have accumulated — even for
+        # the non-dyadic CPIs in the SPEC profile table.
+        self._ticks = 0
+        self._clock_base = 0.0
+        self._clock_ticks0 = 0
         self._cpi = 1.0 / config.core_ipc
         self._next_persist_id = 0
         self._persist_count = 0
@@ -236,6 +258,15 @@ class TraceSimulator:
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.config.engine == "batched":
+            from repro.sim.batched import run_batched
+
+            return run_batched(self, trace, warmup_fraction)
+        return self._run_scalar(trace, warmup_fraction)
+
+    def _run_scalar(
+        self, trace: MemoryTrace, warmup_fraction: float
+    ) -> SimResult:
         boundary = int(len(trace) * warmup_fraction)
         instructions = 0
         window = _WindowSnapshot()
@@ -243,35 +274,45 @@ class TraceSimulator:
         # Local bindings: this loop dominates simulation wall-clock.  It
         # walks the trace's packed columns directly — integer kind codes
         # and primitive array values, no per-record object and no enum
-        # identity checks.
-        cpi = self._cpi
+        # identity checks.  The clock only needs materializing inside
+        # the handlers, so the loop advances the integer tick count.
         protect_stack = self._protect_stack
         load = self._load
         store = self._store
         barrier = self._barrier
         sfence = KIND_SFENCE
         load_kind = KIND_LOAD
+        ticks = self._ticks
         index = 0
         for kind, address, gap, persistent in zip(
             trace.kind_codes, trace.addresses, trace.gaps, trace.persistent_flags
         ):
             if index == boundary:
                 self._in_warmup = False
+                self._ticks = ticks
                 window = self._snapshot(instructions)
             index += 1
-            if gap:
-                self._now += gap * cpi
             instructions += gap + 1
             if kind == sfence:
+                self._ticks = ticks + gap
+                ticks = self._ticks
                 barrier()
             elif kind == load_kind:
-                self._now += cpi
+                ticks += gap + 1
+                self._ticks = ticks
                 load(address >> 6)
             else:
-                self._now += cpi
+                ticks += gap + 1
+                self._ticks = ticks
                 store(address >> 6, persistent or protect_stack)
+        self._ticks = ticks
         self._drain()
-        end_cycle = max(self._now, float(self._last_completion))
+        return self._make_result(trace, window, instructions)
+
+    def _make_result(
+        self, trace: MemoryTrace, window: "_WindowSnapshot", instructions: int
+    ) -> SimResult:
+        end_cycle = max(self._clock(), float(self._last_completion))
         cycles = int(end_cycle - window.cycles)
         return SimResult(
             scheme=self.scheme.value,
@@ -284,9 +325,25 @@ class TraceSimulator:
             stats=self.stats.as_dict(),
         )
 
+    # ------------------------------------------------------------------
+    # the decomposed core clock
+    # ------------------------------------------------------------------
+
+    def _clock(self) -> float:
+        """Current core cycle (float), derived from the tick count."""
+        return self._clock_base + (self._ticks - self._clock_ticks0) * self._cpi
+
+    def _clock_int(self) -> int:
+        return int(self._clock_base + (self._ticks - self._clock_ticks0) * self._cpi)
+
+    def _anchor(self, cycle: float) -> None:
+        """Re-anchor the clock at ``cycle`` (a stall landed there)."""
+        self._clock_base = cycle
+        self._clock_ticks0 = self._ticks
+
     def _snapshot(self, instructions: int) -> "_WindowSnapshot":
         return _WindowSnapshot(
-            cycles=self._now,
+            cycles=self._clock(),
             instructions=instructions,
             persists=self._persist_count,
             node_updates=self.scoreboard.node_update_count,
@@ -299,11 +356,23 @@ class TraceSimulator:
 
     def _load(self, block: int) -> None:
         result = self.hierarchy.access(block, is_write=False)
-        for victim in result.writebacks:
+        self._load_timed(block, result.writebacks, result.memory_access)
+
+    def _load_timed(
+        self, block: int, writebacks: Tuple[int, ...], memory_access: bool
+    ) -> None:
+        """Timed half of a load: writebacks, fill and verification stall.
+
+        Shared verbatim between the scalar loop (fed by the live
+        hierarchy) and the batched engine (fed by prepass events), so
+        both compute identical stalls.
+        """
+        for victim in writebacks:
             self._handle_writeback(victim)
-        if not result.memory_access:
+        if not memory_access:
             return
-        now = int(self._now)
+        now_f = self._clock()
+        now = int(now_f)
         done = self.nvm.read(now)
         # Counter and MAC must be on-chip to decrypt/verify the fill.
         if not self.metadata.access_counter(block, is_write=False):
@@ -325,7 +394,7 @@ class TraceSimulator:
         done = max(done, min(self.scoreboard.engine_busy_until(), backlog_cap))
         stall = (done - now) / self.config.load_mlp
         self._load_stall.add(int(stall))
-        self._now += stall
+        self._anchor(now_f + stall)
 
     # ------------------------------------------------------------------
     # stores
@@ -336,12 +405,7 @@ class TraceSimulator:
         for victim in result.writebacks:
             self._handle_writeback(victim)
         if result.memory_access:
-            # Write-allocate fetch.
-            now = int(self._now)
-            done = self.nvm.read(now)
-            stall = (done - now) / self.config.load_mlp
-            self._load_stall.add(int(stall))
-            self._now += stall
+            self._allocate_stall()
         if not self._write_through:
             self._track_dirty(block)
         if not persistent:
@@ -354,6 +418,15 @@ class TraceSimulator:
                 self._flush_epoch(closed)
             return
         self._persist_store(block)
+
+    def _allocate_stall(self) -> None:
+        """Write-allocate fetch stall for a store that missed the LLC."""
+        now_f = self._clock()
+        now = int(now_f)
+        done = self.nvm.read(now)
+        stall = (done - now) / self.config.load_mlp
+        self._load_stall.add(int(stall))
+        self._anchor(now_f + stall)
 
     def _track_dirty(self, block: int) -> None:
         """Steady-state dirty residency for write-back schemes.
@@ -380,12 +453,14 @@ class TraceSimulator:
 
     def _persist_store(self, block: int) -> None:
         """Write-through persist (unordered / sp / pipeline)."""
-        now = int(self._now)
+        now = int(self._clock())
         admit = self.wpq_ring.admit(now)
         if admit > now:
             self._wpq_stall.add(admit - now)
-            self._now = float(admit)
-        arrival = int(self._now)
+            self._anchor(float(admit))
+            arrival = admit
+        else:
+            arrival = now
         arrival = self._metadata_update(block, arrival)
         persist_id = self._next_persist_id
         timing = self.scoreboard.submit(persist_id, self._leaf_of(block), arrival)
@@ -450,12 +525,23 @@ class TraceSimulator:
 
     def _flush_epoch(self, epoch: Epoch) -> None:
         """Flush an epoch's unique dirty blocks as persists."""
-        now = int(self._now)
-        persists: List[Tuple[int, int]] = []
-        arrival = now
         for block in epoch.dirty_blocks:  # first-store order
             self.hierarchy.clean_block(block)
             self._dirty_window.pop(block, None)  # persisted: now clean
+        self._flush_timed(tuple(epoch.dirty_blocks))
+
+    def _flush_timed(self, blocks: Tuple[int, ...]) -> None:
+        """Timed half of an epoch flush (shared with the batched engine).
+
+        The functional half — cleaning the flushed blocks out of the
+        hierarchy and the dirty-residency window — happens before this
+        is called; it never touches the clock, so splitting it off
+        preserves the scalar path's arithmetic exactly.
+        """
+        now = int(self._clock())
+        persists: List[Tuple[int, int]] = []
+        arrival = now
+        for block in blocks:  # first-store order
             arrival = self._metadata_update(block, arrival)
             self._tuple_writes(block, now)
             persists.append((self._next_persist_id, self._leaf_of(block)))
@@ -482,16 +568,17 @@ class TraceSimulator:
                 )
         # The core stalls while flush issue waits for WPQ slots / the ETT.
         issue_done = self.scoreboard.last_issue_time
-        if issue_done > self._now:
-            self._flush_stall.add(int(issue_done - self._now))
-            self._now = float(issue_done)
+        now_f = self._clock()
+        if issue_done > now_f:
+            self._flush_stall.add(int(issue_done - now_f))
+            self._anchor(float(issue_done))
 
     # ------------------------------------------------------------------
     # write-backs (secure_wb background persists; EP stack spills)
     # ------------------------------------------------------------------
 
     def _handle_writeback(self, block: int) -> None:
-        now = int(self._now)
+        now = int(self._clock())
         arrival = self._metadata_update(block, now)
         self._tuple_writes(block, now)
         if self.scheme is not UpdateScheme.SECURE_WB:
@@ -501,7 +588,7 @@ class TraceSimulator:
         admit = self.wpq_ring.admit(now)
         if admit > now:
             self._wpq_stall.add(admit - now)
-            self._now = float(admit)
+            self._anchor(float(admit))
             arrival = max(arrival, admit)
         persist_id = self._next_persist_id
         timing = self.scoreboard.submit(persist_id, self._leaf_of(block), arrival)

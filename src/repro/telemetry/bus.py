@@ -18,7 +18,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.telemetry.config import TelemetryConfig
-from repro.telemetry.events import EventKind, TraceEvent
+from repro.telemetry.events import EventKind, TraceEvent, level_track
 from repro.telemetry.series import GaugeSeries
 
 
@@ -33,24 +33,54 @@ class TelemetrySink:
 
 
 class RingBufferSink(TelemetrySink):
-    """A bounded FIFO of events; the oldest are dropped (and counted)."""
+    """A bounded FIFO of events; the oldest are dropped (and counted).
 
-    __slots__ = ("capacity", "_events", "dropped")
+    Events are retained *packed* — the ``(kind, time, track, ident,
+    duration, args)`` tuple the bus hands over — and only materialized
+    into :class:`TraceEvent` instances when :meth:`events` is called.
+    Emission is the hot path (hundreds of thousands of events per trace
+    run); export happens once, so the typed objects are built there.
+    """
+
+    __slots__ = ("capacity", "_events", "_recorded")
 
     def __init__(self, capacity: int = 1 << 16) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
-        self.dropped = 0
+        self._events: Deque[tuple] = deque(maxlen=capacity)
+        self._recorded = 0
 
     def record(self, event: TraceEvent) -> None:
-        if len(self._events) == self.capacity:
-            self.dropped += 1
-        self._events.append(event)
+        """Slow-path entry for externally built events."""
+        self._recorded += 1
+        self._events.append(
+            (event.kind, event.time, event.track, event.ident, event.duration, event.args)
+        )
+
+    def record_packed(self, packed: tuple) -> None:
+        """Append one packed event tuple (the bus's fast path).
+
+        The deque's ``maxlen`` performs the drop; :attr:`dropped` is
+        derived from the running count, so the append stays branch-free.
+        """
+        self._recorded += 1
+        self._events.append(packed)
+
+    def record_many(self, packed_batch: List[tuple]) -> None:
+        """Bulk-append a batch of packed tuples (bus buffer flush)."""
+        self._recorded += len(packed_batch)
+        self._events.extend(packed_batch)
+
+    @property
+    def dropped(self) -> int:
+        return self._recorded - len(self._events)
 
     def events(self) -> List[TraceEvent]:
-        return list(self._events)
+        return [
+            TraceEvent(kind, time, track, ident=ident, duration=duration, args=args)
+            for kind, time, track, ident, duration, args in self._events
+        ]
 
     def __len__(self) -> int:
         return len(self._events)
@@ -80,7 +110,16 @@ class Telemetry:
     order regardless.
     """
 
-    __slots__ = ("config", "sink", "clock", "_gauges", "_seq")
+    __slots__ = (
+        "config",
+        "sink",
+        "clock",
+        "_gauges",
+        "_buf",
+        "_flushed",
+        "_flush_at",
+        "_record_many",
+    )
 
     def __init__(
         self,
@@ -91,11 +130,41 @@ class Telemetry:
         self.sink = sink if sink is not None else RingBufferSink(self.config.ring_capacity)
         self.clock: Callable[[], int] = _zero_clock
         self._gauges: Dict[str, GaugeSeries] = {}
-        self._seq = 0
+        # Emission hot path: events are appended packed to a plain list
+        # and handed to the sink in batches — one ``list.append`` per
+        # event instead of a call chain through the sink.  The buffer
+        # drains whenever any observer (events/emitted/dropped) looks,
+        # and at ``_flush_at`` to bound memory; sinks that implement
+        # ``record_many`` take the batch packed, others get typed
+        # TraceEvents one at a time, in emission order either way.
+        self._buf: List[tuple] = []
+        self._flushed = 0
+        self._flush_at = self.config.ring_capacity
+        self._record_many: Optional[Callable[[List[tuple]], None]] = getattr(
+            self.sink, "record_many", None
+        )
 
     # ------------------------------------------------------------------
     # events
     # ------------------------------------------------------------------
+
+    def _flush(self) -> None:
+        buf = self._buf
+        if not buf:
+            return
+        self._flushed += len(buf)
+        record_many = self._record_many
+        if record_many is not None:
+            record_many(buf)
+        else:
+            record = self.sink.record
+            for kind, time, track, ident, duration, args in buf:
+                record(
+                    TraceEvent(
+                        kind, time, track, ident=ident, duration=duration, args=args
+                    )
+                )
+        buf.clear()
 
     def emit(
         self,
@@ -105,22 +174,17 @@ class Telemetry:
         ident: int = -1,
         duration: int = 0,
         args: Optional[dict] = None,
-    ) -> TraceEvent:
-        """Record one event; returns it (tests inspect the instance)."""
-        event = TraceEvent(kind, time, track, ident=ident, duration=duration, args=args)
-        self._seq += 1
-        self.sink.record(event)
-        return event
+    ) -> None:
+        """Record one event (packed; materialized at export time)."""
+        buf = self._buf
+        buf.append((kind, time, track, ident, duration, args))
+        if len(buf) >= self._flush_at:
+            self._flush()
 
-    def instant(
-        self,
-        kind: EventKind,
-        time: int,
-        track: str,
-        ident: int = -1,
-        args: Optional[dict] = None,
-    ) -> TraceEvent:
-        return self.emit(kind, time, track, ident=ident, args=args)
+    # ``instant`` shares ``emit``'s positional prefix (kind, time,
+    # track, ident); every call site passes ``args`` by keyword, so the
+    # alias removes one call frame from the hottest instrumentation path.
+    instant = emit
 
     def span(
         self,
@@ -130,20 +194,45 @@ class Telemetry:
         track: str,
         ident: int = -1,
         args: Optional[dict] = None,
-    ) -> TraceEvent:
-        return self.emit(kind, time, track, ident=ident, duration=duration, args=args)
+    ) -> None:
+        buf = self._buf
+        buf.append((kind, time, track, ident, duration, args))
+        if len(buf) >= self._flush_at:
+            self._flush()
+
+    def span_walk(
+        self, kind: EventKind, start: int, costs, ident: int, level: int
+    ) -> None:
+        """Emit one span per node of a serial walk in a single call.
+
+        The walk starts at BMT level ``level`` and steps toward the
+        root; node *i* spans ``costs[i]`` cycles starting where node
+        *i-1* finished.  This batches the highest-volume structural
+        events (per-node BMT_LEVEL_SPANs) into one bus call per persist.
+        """
+        buf = self._buf
+        append = buf.append
+        t = start
+        for cost in costs:
+            append((kind, t, level_track(level), ident, cost, None))
+            t += cost
+            level -= 1
+        if len(buf) >= self._flush_at:
+            self._flush()
 
     def events(self) -> List[TraceEvent]:
         """Events currently retained by the sink, in emission order."""
+        self._flush()
         return self.sink.events()
 
     @property
     def emitted(self) -> int:
         """Total events emitted (including any the ring dropped)."""
-        return self._seq
+        return self._flushed + len(self._buf)
 
     @property
     def dropped(self) -> int:
+        self._flush()
         return getattr(self.sink, "dropped", 0)
 
     # ------------------------------------------------------------------
@@ -171,6 +260,6 @@ class Telemetry:
 
     def __repr__(self) -> str:
         return (
-            f"Telemetry(events={self._seq}, dropped={self.dropped}, "
+            f"Telemetry(events={self.emitted}, dropped={self.dropped}, "
             f"gauges={sorted(self._gauges)})"
         )

@@ -32,10 +32,14 @@ class TelemetryConfig:
     """Gauge rollup window, in cycles: samples landing in the same
     ``time // stride`` window aggregate into one min/mean/max cell."""
 
-    cache_events: bool = True
-    """Emit per-access metadata-cache hit/miss/evict events.  These are
-    the highest-volume events; disable to keep the ring for the
-    structural (WPQ/PTT/BMT/epoch) timeline."""
+    cache_events: bool = False
+    """Emit per-access metadata-cache hit/miss/evict events (opt-in
+    deep-inspection mode).  These are by far the highest-volume events
+    — one per counter/MAC/BMT-node access — and installing their
+    instrumented closures forces the batched engine onto its live
+    metadata machinery, so the default keeps them off: the structural
+    (WPQ/PTT/BMT/epoch) timeline stays cheap and the ring is not
+    flooded.  Results are bit-identical either way."""
 
     window_value_cap: int = 64
     """Raw samples retained per gauge window for percentile rollups;

@@ -113,6 +113,16 @@ class TraceEvent:
         )
 
 
+_LEVEL_TRACKS: Dict[int, str] = {}
+
+
 def level_track(level: int) -> str:
-    """Track label for a BMT level (0 is the root, as in the geometry)."""
-    return f"bmt.L{level}"
+    """Track label for a BMT level (0 is the root, as in the geometry).
+
+    Interned: this sits on the span emission hot path (one call per
+    BMT node update), and the label space is the tree depth.
+    """
+    track = _LEVEL_TRACKS.get(level)
+    if track is None:
+        track = _LEVEL_TRACKS[level] = f"bmt.L{level}"
+    return track

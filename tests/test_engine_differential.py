@@ -1,11 +1,14 @@
-"""Differential harness: skip-ahead engine vs the stepped reference.
+"""Differential harness: batched and skip-ahead engines vs the stepped
+reference.
 
-The skip-ahead event-queue engine and the per-cycle stepped engine
-(``SystemConfig.engine``) must be bit-identical: same ``SimResult``
-field for field, and — with telemetry enabled — the same event stream,
-event for event.  This suite runs both engines over randomized (seeded)
-configs x workloads x all seven schemes and asserts exact equality;
-any drift in the skip-ahead arithmetic fails here first.
+All three timing-engine families (``SystemConfig.engine``) — the
+array-native batched engine (the default), the scalar skip-ahead
+event-queue engine, and the per-cycle stepped oracle — must be
+bit-identical: same ``SimResult`` field for field, and — with telemetry
+enabled — the same event stream, event for event.  This suite runs the
+engines over randomized (seeded) configs x workloads x all seven
+schemes and asserts exact equality; any drift in the batched prepass or
+the skip-ahead arithmetic fails here first.
 
 The scoreboard-level differential reuses ``test_cross_validation``'s
 machinery, so the stepped family is also validated against the
@@ -49,9 +52,9 @@ def random_config(seed: int, scheme: UpdateScheme, telemetry: bool = False) -> S
 
 
 def run_both(config: SystemConfig, trace):
-    """Run the same config under both engine families."""
+    """Run the same config under every engine family."""
     out = {}
-    for engine in ("skip_ahead", "stepped"):
+    for engine in ("batched", "skip_ahead", "stepped"):
         sim = TraceSimulator(config.variant(engine=engine))
         result = sim.run(trace)
         events = (
@@ -71,7 +74,7 @@ def run_both(config: SystemConfig, trace):
 def test_simresults_bit_identical(scheme, workload):
     trace = _trace(workload)
     out = run_both(SystemConfig(scheme=scheme), trace)
-    assert out["skip_ahead"][0] == out["stepped"][0]
+    assert out["batched"][0] == out["skip_ahead"][0] == out["stepped"][0]
 
 
 @pytest.mark.parametrize("seed", [1, 2, 3])
@@ -79,18 +82,19 @@ def test_simresults_bit_identical(scheme, workload):
 def test_randomized_configs_bit_identical(scheme, seed):
     trace = _trace("gamess")
     out = run_both(random_config(seed, scheme), trace)
-    assert out["skip_ahead"][0] == out["stepped"][0]
+    assert out["batched"][0] == out["skip_ahead"][0] == out["stepped"][0]
 
 
 @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
 def test_telemetry_streams_identical(scheme):
-    """With the bus on, both engines emit the exact same event sequence."""
+    """With the bus on, every engine emits the exact same event sequence."""
     trace = _trace("gcc")
     out = run_both(random_config(7, scheme, telemetry=True), trace)
+    batched_result, batched_events = out["batched"]
     skip_result, skip_events = out["skip_ahead"]
     stepped_result, stepped_events = out["stepped"]
-    assert skip_result == stepped_result
-    assert skip_events == stepped_events
+    assert batched_result == skip_result == stepped_result
+    assert batched_events == skip_events == stepped_events
     # Both streams must also satisfy the 2SP gathering invariant.
     from repro.telemetry.events import TraceEvent
 
@@ -98,7 +102,25 @@ def test_telemetry_streams_identical(scheme):
     assert gather_before_release_violations(replay) == []
 
 
-@pytest.mark.parametrize("engine", ["skip_ahead", "stepped"])
+@pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.value)
+def test_cache_event_streams_identical(scheme):
+    """Deep-inspection mode (per-access metadata-cache events) matches too.
+
+    ``cache_events=True`` installs instrumented closures on the
+    metadata caches, which forces the batched engine off its scripted
+    metadata replay and onto the live machinery — the streams (and
+    results) must still be identical, event for event.
+    """
+    trace = _trace("gcc")
+    config = SystemConfig(
+        scheme=scheme,
+        telemetry=TelemetryConfig(enabled=True, cache_events=True),
+    )
+    out = run_both(config, trace)
+    assert out["batched"] == out["skip_ahead"] == out["stepped"]
+
+
+@pytest.mark.parametrize("engine", ["batched", "skip_ahead", "stepped"])
 @pytest.mark.parametrize(
     "scheme", [UpdateScheme.SP, UpdateScheme.PIPELINE, UpdateScheme.O3]
 )

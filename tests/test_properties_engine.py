@@ -30,13 +30,13 @@ from repro.sim.engine import CompletionHeap, Engine
 from repro.system.config import SystemConfig
 from repro.system.timing import TraceSimulator
 from repro.telemetry.config import TelemetryConfig
-from repro.workloads.trace import KIND_SFENCE, KIND_STORE, MemoryTrace
+from repro.workloads.trace import KIND_LOAD, KIND_SFENCE, KIND_STORE, MemoryTrace
 
 GEOMETRY = BMTGeometry(num_leaves=512, arity=8)
 
 leaf_streams = st.lists(st.integers(0, 511), min_size=1, max_size=32)
 gap_streams = st.lists(st.integers(0, 500), min_size=1, max_size=32)
-ENGINES = ["skip_ahead", "stepped"]
+ENGINES = ["batched", "skip_ahead", "stepped"]
 
 
 # ----------------------------------------------------------------------
@@ -85,6 +85,72 @@ def test_epochs_drain_in_program_order(scheme, engine, leaves, epoch_size, gap):
         frontiers.append(max(t.completion for t in timings))
         arrival += gap
     assert frontiers == sorted(frontiers)
+
+
+# ----------------------------------------------------------------------
+# three-way engine equivalence on hazard-forcing traces
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "scheme",
+    [UpdateScheme.SP, UpdateScheme.O3, UpdateScheme.COALESCING, UpdateScheme.SECURE_WB],
+    ids=lambda s: s.value,
+)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.integers(0, 2),  # 0: load, 1: store, 2: sfence
+            st.integers(0, 1 << 14),  # block (small space -> reuse + coalescing)
+            st.integers(0, 64),  # gap
+            st.booleans(),  # persistent store?
+        ),
+        min_size=4,
+        max_size=48,
+    ),
+    epoch_size=st.integers(2, 6),
+    wpq_entries=st.integers(2, 8),
+    warmup=st.sampled_from([0.0, 0.2, 0.5]),
+)
+@settings(max_examples=20, deadline=None)
+def test_engines_bit_identical_on_hazard_traces(scheme, ops, epoch_size, wpq_entries, warmup):
+    """batched == skip_ahead == stepped on traces built to split runs.
+
+    The generated traces force the batched engine's independence-run
+    partition to break at every hazard it special-cases: epoch
+    boundaries (dense sfences + tiny ``epoch_size``), 2SP backpressure
+    stalls (tiny ``wpq_entries``), coalescing delegation (blocks drawn
+    from a small space, so adjacent leaves share truncated paths), and
+    warmup-crossing snapshots (varied ``warmup_fraction``).
+    """
+    trace = MemoryTrace(name="hazard")
+    for kind, block, gap, persistent in ops:
+        if kind == 2:
+            trace.append_op(KIND_SFENCE)
+        else:
+            trace.append_op(
+                KIND_LOAD if kind == 0 else KIND_STORE,
+                block << 6,
+                gap=gap,
+                persistent=int(persistent),
+            )
+    config = SystemConfig(
+        scheme=scheme,
+        epoch_size=epoch_size,
+        wpq_entries=wpq_entries,
+        telemetry=TelemetryConfig(enabled=True),
+    )
+    results = {}
+    events = {}
+    for engine in ENGINES:
+        sim = TraceSimulator(config.variant(engine=engine))
+        results[engine] = sim.run(trace, warmup_fraction=warmup)
+        events[engine] = [
+            (e.kind, e.time, e.duration, e.track, e.ident, e.args)
+            for e in sim.telemetry.events()
+        ]
+    assert results["batched"] == results["skip_ahead"] == results["stepped"]
+    assert events["batched"] == events["skip_ahead"] == events["stepped"]
 
 
 # ----------------------------------------------------------------------

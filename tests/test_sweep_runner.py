@@ -1,9 +1,12 @@
 """Tests for the parallel sweep runner (determinism + result cache)."""
 
 import dataclasses
+import os
+from pathlib import Path
 
 import pytest
 
+import repro.sweep.runner as runner_mod
 from repro.sweep import (
     ResultCache,
     SweepJob,
@@ -13,7 +16,7 @@ from repro.sweep import (
     run_jobs,
     run_matrix,
 )
-from repro.sweep.runner import TRACE_CACHE_CAP, _trace_cache
+from repro.sweep.runner import TRACE_CACHE_CAP, _trace_cache, run_tasks
 from repro.system.config import SystemConfig
 from repro.system.factory import run_trace
 from repro.workloads.spec_profiles import SPEC_PROFILES, profile_trace
@@ -80,6 +83,65 @@ def test_duplicate_jobs_share_one_execution(tmp_path):
     results, report = run_jobs([job, job, job], workers=2, cache=str(tmp_path / "c"))
     assert report.executed == 1
     assert results[0] == results[1] == results[2]
+
+
+# ----------------------------------------------------------------------
+# persistent worker pool
+# ----------------------------------------------------------------------
+
+
+def _worker_pid(spec):
+    """Module-level (picklable) probe: which process ran this spec."""
+    return os.getpid()
+
+
+def _die_once(spec: str):
+    """Kill the worker the first time a flag spec is seen (pool-break probe)."""
+    if spec.endswith(".flag"):
+        flag = Path(spec)
+        if not flag.exists():
+            flag.write_text("died")
+            os._exit(1)
+    return os.getpid()
+
+
+def test_persistent_pool_reused_across_sweeps():
+    specs = list(range(4))
+    keys = [f"pid-{i}" for i in specs]
+    first, _ = run_tasks(specs, keys, _worker_pid, workers=2)
+    spawns = runner_mod.pool_spawns
+    second, _ = run_tasks(specs, keys, _worker_pid, workers=2)
+    # No new executor was created, and the very same worker processes
+    # (not just the same count) served both sweeps.
+    assert runner_mod.pool_spawns == spawns
+    assert set(first) & set(second)
+    assert os.getpid() not in set(first) | set(second)
+
+
+def test_pool_grows_by_recreation_and_shrinks_by_reuse():
+    runner_mod.shutdown_pool()  # order-independence: start from no pool
+    run_tasks([0, 1], ["g0", "g1"], _worker_pid, workers=2)
+    spawns = runner_mod.pool_spawns
+    run_tasks([0, 1, 2], ["g0", "g1", "g2"], _worker_pid, workers=3)
+    assert runner_mod.pool_spawns == spawns + 1  # grew: recreated
+    run_tasks([0, 1], ["g0", "g1"], _worker_pid, workers=2)
+    assert runner_mod.pool_spawns == spawns + 1  # smaller request reuses
+
+
+def test_broken_pool_retries_once_on_fresh_workers(tmp_path):
+    specs = [str(tmp_path / "a.flag"), "benign"]
+    results, report = run_tasks(specs, specs, _die_once, workers=2)
+    # First attempt killed worker(s); the retry ran on a fresh pool.
+    assert all(isinstance(pid, int) and pid != os.getpid() for pid in results)
+    assert report.executed == 2
+
+
+def test_parallel_pool_results_bit_identical_to_sequential():
+    jobs = [SweepJob.make("gamess", s, KI) for s in SCHEMES]
+    sequential, _ = run_jobs(jobs, workers=1, cache=False)
+    parallel, _ = run_jobs(jobs, workers=2, cache=False)
+    for seq_result, par_result in zip(sequential, parallel):
+        assert dataclasses.asdict(par_result) == dataclasses.asdict(seq_result)
 
 
 # ----------------------------------------------------------------------
