@@ -120,7 +120,28 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         for value in values
         for name in ("secure_wb", scheme.value)
     ]
-    flat, report = run_jobs(jobs, workers=args.jobs, cache=not args.no_cache)
+    if args.shards > 1:
+        # Scale-out mode: each simulation is split at epoch-drain
+        # boundaries and run across the persistent worker pool, merged
+        # back bit-identically (so the table below matches --shards 1).
+        from repro.sweep import cached_profile_trace, run_sharded
+
+        flat = []
+        for job in jobs:
+            trace = cached_profile_trace(job.benchmark, job.kilo_instructions, job.seed)
+            flat.append(
+                run_sharded(
+                    trace,
+                    job.resolved_config(),
+                    shards=args.shards,
+                    warmup_fraction=job.warmup_fraction,
+                    workers=args.jobs if args.jobs > 1 else None,
+                )
+            )
+        footer = f"sweep: {len(jobs)} points, {args.shards} shards each"
+    else:
+        flat, report = run_jobs(jobs, workers=args.jobs, cache=not args.no_cache)
+        footer = f"sweep: {report.summary()}"
     table = Table(
         f"{args.benchmark} / {scheme.value}: sweep of {args.param}",
         [args.param, "cycles", "vs secure_wb"],
@@ -129,15 +150,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         base, result = flat[2 * i], flat[2 * i + 1]
         table.add_row(str(value), f"{result.cycles:,}", f"{result.slowdown_vs(base):.3f}x")
     print(table)
-    print(f"sweep: {report.summary()}")
+    print(footer)
     return 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    """Export a benchmark trace as a packed binary (or text) artifact."""
+    """Export, inspect or stream-generate a packed trace artifact."""
     from repro.sweep import cached_profile_trace
     from repro.workloads.trace import OpKind
 
+    if args.inspect is not None:
+        return _trace_inspect(args.inspect)
+    if args.stream is not None:
+        return _trace_stream(args)
+    if args.benchmark is None:
+        print("benchmark required (or use --inspect/--stream)", file=sys.stderr)
+        return 2
     if args.benchmark not in SPEC_PROFILES:
         print(f"unknown benchmark {args.benchmark!r}; see `plp-repro list`", file=sys.stderr)
         return 2
@@ -164,6 +192,78 @@ def cmd_trace(args: argparse.Namespace) -> int:
     table.add_row("touched blocks", f"{trace.touched_blocks():,}")
     table.add_row("stores/KI", f"{trace.stores_per_kilo_instruction():.2f}")
     print(table)
+    return 0
+
+
+def _trace_inspect(path: str) -> int:
+    """Summarize a trace file from its header + segment index alone.
+
+    For a chunked v2 file this reads O(1) bytes regardless of trace
+    length — the columns are never touched.
+    """
+    from repro.workloads.trace import TraceFormatError, TraceReader
+
+    try:
+        with TraceReader(path) as reader:
+            summary = reader.summary()
+    except (TraceFormatError, OSError) as exc:
+        print(f"cannot inspect {path!r}: {exc}", file=sys.stderr)
+        return 1
+    table = Table(f"trace file {path}", ["metric", "value"])
+    table.add_row("name", summary.name)
+    table.add_row("format version", str(summary.version))
+    table.add_row("records", f"{summary.record_count:,}")
+    table.add_row("segments", f"{summary.num_segments:,} x {summary.segment_ops:,} ops")
+    table.add_row("instructions", f"{summary.instruction_count:,}")
+    table.add_row("loads", f"{summary.loads:,}")
+    table.add_row("stores", f"{summary.stores:,}")
+    table.add_row("persistent stores", f"{summary.persistent_stores:,}")
+    table.add_row("sfences", f"{summary.sfences:,}")
+    table.add_row("stores/KI", f"{summary.stores_per_kilo_instruction():.2f}")
+    print(table)
+    return 0
+
+
+_STREAM_GENERATORS = ("synthetic", "lca_pingpong", "multi_tenant")
+
+
+def _trace_stream(args: argparse.Namespace) -> int:
+    """Stream-generate a chunked v2 trace straight to disk.
+
+    Peak memory is one segment's columns, so ``--ops 10000000`` works on
+    a small machine; the result is inspectable with ``--inspect``.
+    """
+    from repro.workloads.synthetic import (
+        SyntheticSpec,
+        lca_pingpong_ops,
+        multi_tenant_ops,
+        stream_trace,
+        synthetic_ops,
+    )
+
+    if args.out is None:
+        print("--stream requires --out", file=sys.stderr)
+        return 2
+    kind = args.stream
+    if kind == "synthetic":
+        # synthetic_ops sizes the trace in kilo-instructions; ~300 ops/KI
+        # at the default rates, so scale the requested op count.
+        spec = SyntheticSpec(name="synthetic-stream", seed=args.seed)
+        ops_per_ki = spec.stores_per_ki + spec.loads_per_ki
+        spec.kilo_instructions = max(1, round(args.ops / ops_per_ki))
+        ops = synthetic_ops(spec)
+    elif kind == "lca_pingpong":
+        ops = lca_pingpong_ops(args.ops, seed=args.seed)
+    else:
+        per_client = max(1, args.ops // args.clients)
+        ops = multi_tenant_ops(
+            clients=args.clients, ops_per_client=per_client, seed=args.seed
+        )
+    count = stream_trace(args.out, ops, name=kind, segment_ops=args.segment_ops)
+    import os as _os
+
+    size = _os.path.getsize(args.out)
+    print(f"wrote {args.out} ({count:,} records, {size:,} bytes, v2 chunked)")
     return 0
 
 
@@ -373,13 +473,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--values", default="4,8,16,32,64,128,256")
     sweep.add_argument("--ki", type=int, default=25)
     sweep.add_argument("--jobs", type=int, default=1, help="worker processes for the sweep")
+    sweep.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="split each simulation at epoch-drain boundaries across the "
+        "worker pool and merge bit-identically (scale-out mode)",
+    )
     sweep.add_argument("--no-cache", action="store_true", help="bypass the on-disk result cache")
     sweep.set_defaults(func=cmd_sweep)
 
     trace = sub.add_parser(
-        "trace", help="export or inspect a benchmark trace (packed binary or text)"
+        "trace", help="export, inspect or stream-generate a packed trace"
     )
-    trace.add_argument("benchmark", help="Table V benchmark name")
+    trace.add_argument("benchmark", nargs="?", default=None, help="Table V benchmark name")
     trace.add_argument("--ki", type=int, default=25, help="trace length in kilo-instructions")
     trace.add_argument("--seed", type=int, default=2020)
     trace.add_argument("--out", default=None, help="write the trace to this path")
@@ -388,6 +495,30 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["binary", "text"],
         default="binary",
         help="serialization for --out (default: packed binary)",
+    )
+    trace.add_argument(
+        "--inspect",
+        metavar="PATH",
+        default=None,
+        help="summarize a trace file from its header/index only (O(1) for v2)",
+    )
+    trace.add_argument(
+        "--stream",
+        choices=_STREAM_GENERATORS,
+        default=None,
+        help="stream-generate a v2 trace straight to --out in bounded memory",
+    )
+    trace.add_argument(
+        "--ops", type=int, default=1_000_000, help="record count for --stream"
+    )
+    trace.add_argument(
+        "--clients", type=int, default=4, help="tenant count for --stream multi_tenant"
+    )
+    trace.add_argument(
+        "--segment-ops",
+        type=int,
+        default=262_144,
+        help="v2 segment size for --stream output",
     )
     trace.set_defaults(func=cmd_trace)
 

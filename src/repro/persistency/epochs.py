@@ -43,19 +43,30 @@ class Epoch:
 class EpochTracker:
     """Assigns persistent stores to epochs and tracks their dirty sets."""
 
-    def __init__(self, epoch_size: Optional[int] = 32) -> None:
+    def __init__(
+        self, epoch_size: Optional[int] = 32, retain_closed: bool = True
+    ) -> None:
         """Create a tracker.
 
         Args:
             epoch_size: Implicit epoch boundary after this many stores;
                 ``None`` disables implicit boundaries (explicit sfences
                 only).
+            retain_closed: Keep every closed :class:`Epoch` object in
+                ``closed_epochs``.  Streaming/sharded runs disable this
+                so epoch bookkeeping stays O(1) in trace length; the
+                aggregate counters (``closed_count``, ``total_persists``,
+                ``total_stores``) are maintained either way.
         """
         if epoch_size is not None and epoch_size <= 0:
             raise ValueError("epoch_size must be positive")
         self.epoch_size = epoch_size
+        self.retain_closed = retain_closed
         self._current = Epoch(epoch_id=0)
         self._closed: List[Epoch] = []
+        self.closed_count = 0
+        self.closed_store_count = 0
+        self.closed_persist_count = 0
 
     @property
     def current_epoch(self) -> Epoch:
@@ -63,6 +74,7 @@ class EpochTracker:
 
     @property
     def closed_epochs(self) -> List[Epoch]:
+        """Closed epochs (empty when ``retain_closed`` is off)."""
         return self._closed
 
     def record_store(self, block: int) -> Optional[Epoch]:
@@ -92,7 +104,11 @@ class EpochTracker:
             return None
         closed = self._current
         closed.closed = True
-        self._closed.append(closed)
+        self.closed_count += 1
+        self.closed_store_count += closed.store_count
+        self.closed_persist_count += closed.persist_count
+        if self.retain_closed:
+            self._closed.append(closed)
         self._current = Epoch(epoch_id=closed.epoch_id + 1)
         return closed
 
@@ -102,7 +118,7 @@ class EpochTracker:
 
     def total_persists(self) -> int:
         """Total boundary persists across all closed epochs."""
-        return sum(epoch.persist_count for epoch in self._closed)
+        return self.closed_persist_count
 
     def total_stores(self) -> int:
-        return sum(epoch.store_count for epoch in self._closed) + self._current.store_count
+        return self.closed_store_count + self._current.store_count

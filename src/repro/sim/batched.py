@@ -93,6 +93,341 @@ def _blocks_of(trace: MemoryTrace) -> List[int]:
     return (addresses >> np.uint64(6)).tolist()
 
 
+def _blocks_of_column(addresses) -> List[int]:
+    if not len(addresses):
+        return []
+    blocks = np.frombuffer(memoryview(addresses), dtype=np.uint64)
+    return (blocks >> np.uint64(6)).tolist()
+
+
+class FunctionalPrepass:
+    """Chunk-resumable functional replay of the replacement state.
+
+    The stateful core of the prepass: the L1/L2/L3 replacement
+    dictionaries, the dirty-residency window, the epoch dirty sets and
+    the hit/miss counters all live on the instance, and :meth:`feed`
+    advances them over one packed column chunk at a time, returning the
+    eventful-op partition for just that chunk.  Feeding a whole trace in
+    one call reproduces ``_functional_prepass`` exactly (the wrapper
+    below does just that); feeding segment-sized chunks is how the
+    streaming and sharded paths bound their memory.  The state is plain
+    dicts/lists, so :meth:`export_state`/:meth:`load_state` can hand a
+    shard's end state to the worker simulating the next shard.
+    """
+
+    __slots__ = (
+        "cls",
+        "epoch_size",
+        "protect_stack",
+        "_dims1",
+        "_dims2",
+        "_dims3",
+        "_l1",
+        "_l2",
+        "_l3",
+        "_window",
+        "_ep_count",
+        "_ep_dirty",
+        "_l1c",
+        "_c",
+        "_next_idx",
+    )
+
+    def __init__(
+        self,
+        cls: str,
+        epoch_size: Optional[int],
+        protect_stack: bool,
+        dims1: Tuple[int, Optional[int], int],
+        dims2: Tuple[int, Optional[int], int],
+        dims3: Tuple[int, Optional[int], int],
+    ) -> None:
+        self.cls = cls
+        self.epoch_size = epoch_size
+        self.protect_stack = protect_stack
+        self._dims1 = dims1
+        self._dims2 = dims2
+        self._dims3 = dims3
+        self._l1 = [{} for _ in range(dims1[0])]
+        self._l2 = [{} for _ in range(dims2[0])]
+        self._l3 = [{} for _ in range(dims3[0])]
+        # Dirty-residency window, primed exactly like the simulator's.
+        self._window = {0x100000 + i * 9: None for i in range(_WINDOW_CAPACITY)}
+        self._ep_count = 0
+        self._ep_dirty: dict = {}
+        self._l1c = [0, 0, 0, 0]  # l1 hit/miss/eviction/dirty-eviction
+        self._c = [0, 0, 0, 0, 0, 0, 0, 0]  # l2 then l3, same four each
+        self._next_idx = 0
+
+    @property
+    def next_index(self) -> int:
+        """Absolute index of the next op to be fed."""
+        return self._next_idx
+
+    @property
+    def counters(self) -> Tuple[int, ...]:
+        """Cumulative L1/L2/L3 hit/miss/eviction/dirty-eviction totals."""
+        return tuple(self._l1c) + tuple(self._c)
+
+    def export_state(self) -> tuple:
+        """Picklable snapshot of the carried state (shard handoff)."""
+        return (
+            self._l1,
+            self._l2,
+            self._l3,
+            self._window,
+            self._ep_count,
+            self._ep_dirty,
+            list(self._l1c),
+            list(self._c),
+            self._next_idx,
+        )
+
+    def load_state(self, state: tuple) -> None:
+        (
+            self._l1,
+            self._l2,
+            self._l3,
+            self._window,
+            self._ep_count,
+            self._ep_dirty,
+            l1c,
+            c,
+            self._next_idx,
+        ) = state
+        self._l1c = list(l1c)
+        self._c = list(c)
+
+    def feed(self, kind_codes, addresses, persistent_flags) -> List[tuple]:
+        """Replay one chunk of packed columns; return its eventful ops.
+
+        Event tuples carry absolute op indices, so chunked feeding and
+        a single whole-trace feed produce the identical event stream.
+        """
+        return self._replay(
+            kind_codes.tolist(),
+            _blocks_of_column(addresses),
+            persistent_flags.tolist(),
+        )
+
+    def finish(self) -> List[tuple]:
+        """End-of-trace drain: flush a trailing partial epoch.
+
+        The sentinel event's index is one past the last op, matching
+        the scalar ``_drain()``.
+        """
+        if self.cls == "ep" and self._ep_count:
+            blocks = tuple(self._ep_dirty)
+            window = self._window
+            for b in blocks:
+                self._clean(b)
+                window.pop(b, None)
+            event = (self._next_idx, _EV_FLUSH, 0, (), False, None, blocks, self._ep_count)
+            self._ep_count = 0
+            self._ep_dirty = {}
+            return [event]
+        return []
+
+    def _clean(self, block: int) -> None:
+        s1, m1, _ = self._dims1
+        s2, m2, _ = self._dims2
+        s3, m3, _ = self._dims3
+        d = self._l1[block & m1] if m1 is not None else self._l1[block % s1]
+        if d.get(block):
+            d[block] = False
+        d = self._l2[block & m2] if m2 is not None else self._l2[block % s2]
+        if d.get(block):
+            d[block] = False
+        d = self._l3[block & m3] if m3 is not None else self._l3[block % s3]
+        if d.get(block):
+            d[block] = False
+
+    def _replay(self, kinds: List[int], blocks: List[int], flags: List[int]) -> List[tuple]:
+        s1, m1, a1 = self._dims1
+        s2, m2, a2 = self._dims2
+        s3, m3, a3 = self._dims3
+        l1, l2, l3 = self._l1, self._l2, self._l3
+        c = self._c
+        epoch_size = self.epoch_size
+        protect_stack = self.protect_stack
+        cls = self.cls
+
+        wt = cls == "wt"
+        track = not wt
+        use_epochs = cls == "ep"
+
+        def spill3(block: int) -> Optional[int]:
+            d = l3[block & m3] if m3 is not None else l3[block % s3]
+            if block in d:
+                d[block] = True
+                return None
+            out = None
+            if len(d) >= a3:
+                vb = next(iter(d))
+                vd = d.pop(vb)
+                c[6] += 1
+                if vd:
+                    c[7] += 1
+                    out = vb
+            d[block] = True
+            return out
+
+        def spill2(block: int, wbs: List[int]) -> None:
+            d = l2[block & m2] if m2 is not None else l2[block % s2]
+            if block in d:
+                d[block] = True
+                return
+            if len(d) >= a2:
+                vb = next(iter(d))
+                vd = d.pop(vb)
+                c[2] += 1
+                if vd:
+                    c[3] += 1
+                    out = spill3(vb)
+                    if out is not None:
+                        wbs.append(out)
+            d[block] = True
+
+        def miss_path(
+            block: int, dirty_fill: bool, v1b: int, v1d: bool
+        ) -> Tuple[List[int], bool]:
+            wbs: List[int] = []
+            if v1d:
+                spill2(v1b, wbs)
+            d = l2[block & m2] if m2 is not None else l2[block % s2]
+            line = d.get(block)
+            if line is not None:
+                del d[block]
+                d[block] = line or dirty_fill
+                c[0] += 1
+                return wbs, False
+            c[1] += 1
+            if len(d) >= a2:
+                vb = next(iter(d))
+                vd = d.pop(vb)
+                c[2] += 1
+                if vd:
+                    c[3] += 1
+                    out = spill3(vb)
+                    if out is not None:
+                        wbs.append(out)
+            d[block] = dirty_fill
+            d = l3[block & m3] if m3 is not None else l3[block % s3]
+            line = d.get(block)
+            if line is not None:
+                del d[block]
+                d[block] = line or dirty_fill
+                c[4] += 1
+                return wbs, False
+            c[5] += 1
+            if len(d) >= a3:
+                vb = next(iter(d))
+                vd = d.pop(vb)
+                c[6] += 1
+                if vd:
+                    c[7] += 1
+                    wbs.append(vb)
+            d[block] = dirty_fill
+            return wbs, True
+
+        def clean(block: int) -> None:
+            d = l1[block & m1] if m1 is not None else l1[block % s1]
+            if d.get(block):
+                d[block] = False
+            d = l2[block & m2] if m2 is not None else l2[block % s2]
+            if d.get(block):
+                d[block] = False
+            d = l3[block & m3] if m3 is not None else l3[block % s3]
+            if d.get(block):
+                d[block] = False
+
+        window = self._window
+        events: List[tuple] = []
+        append = events.append
+        l1_h, l1_m, l1_e, l1_de = self._l1c
+        ep_count = self._ep_count
+        ep_dirty = self._ep_dirty
+        idx = self._next_idx - 1
+        for kind, block, persistent in zip(kinds, blocks, flags):
+            idx += 1
+            if kind == 2:  # sfence
+                if use_epochs and ep_count:
+                    blocks_ = tuple(ep_dirty)
+                    for b in blocks_:
+                        clean(b)
+                        window.pop(b, None)
+                    append((idx, _EV_FLUSH, 0, (), False, None, blocks_, ep_count))
+                    ep_count = 0
+                    ep_dirty = {}
+                continue
+            is_write = kind == 1
+            d1 = l1[block & m1] if m1 is not None else l1[block % s1]
+            line = d1.get(block)
+            if line is None:
+                l1_m += 1
+                v1b = 0
+                v1d = False
+                if len(d1) >= a1:
+                    v1b = next(iter(d1))
+                    v1d = d1.pop(v1b)
+                    l1_e += 1
+                    if v1d:
+                        l1_de += 1
+                dirty_fill = is_write and track
+                d1[block] = dirty_fill
+                wbs, mem = miss_path(block, dirty_fill, v1b, v1d)
+            else:
+                l1_h += 1
+                del d1[block]
+                d1[block] = line or (is_write and track)
+                wbs = None
+                mem = False
+            if is_write:
+                victim = None
+                if track:
+                    if block in window:
+                        del window[block]
+                        window[block] = None
+                    else:
+                        window[block] = None
+                        if len(window) > _WINDOW_CAPACITY:
+                            victim = next(iter(window))
+                            del window[victim]
+                            clean(victim)
+                if persistent or protect_stack:
+                    if use_epochs:
+                        ep_count += 1
+                        if block not in ep_dirty:
+                            ep_dirty[block] = None
+                        if epoch_size is not None and ep_count >= epoch_size:
+                            flush = tuple(ep_dirty)
+                            for b in flush:
+                                clean(b)
+                                window.pop(b, None)
+                            append(
+                                (idx, _EV_STORE, block, wbs or (), mem, victim, flush, ep_count)
+                            )
+                            ep_count = 0
+                            ep_dirty = {}
+                            continue
+                    elif wt:
+                        append((idx, _EV_STORE, block, wbs or (), mem, victim, None, 1))
+                        continue
+                if wbs or mem or victim is not None:
+                    append((idx, _EV_STORE, block, wbs or (), mem, victim, None, 0))
+            elif mem or wbs:
+                append((idx, _EV_LOAD, block, wbs or (), mem, None, None, 0))
+
+        self._l1c[0] = l1_h
+        self._l1c[1] = l1_m
+        self._l1c[2] = l1_e
+        self._l1c[3] = l1_de
+        self._ep_count = ep_count
+        self._ep_dirty = ep_dirty
+        self._next_idx = idx + 1
+        return events
+
+
 def _functional_prepass(
     trace: MemoryTrace,
     cls: str,
@@ -112,199 +447,15 @@ def _functional_prepass(
     sets.  None of these ever read the clock, which is what makes the
     factorization sound; the proof obligation is discharged empirically
     by the differential harness.
+
+    Thin wrapper over :class:`FunctionalPrepass` feeding the whole
+    trace as one chunk — the memoized whole-trace path and the chunked
+    streaming path share the same replay code.
     """
-    s1, m1, a1 = dims1
-    s2, m2, a2 = dims2
-    s3, m3, a3 = dims3
-    l1: List[dict] = [{} for _ in range(s1)]
-    l2: List[dict] = [{} for _ in range(s2)]
-    l3: List[dict] = [{} for _ in range(s3)]
-    # l2/l3 hit/miss/eviction/dirty-eviction counters (l1's are locals).
-    c = [0, 0, 0, 0, 0, 0, 0, 0]
-
-    wt = cls == "wt"
-    track = not wt
-    use_epochs = cls == "ep"
-
-    def spill3(block: int) -> Optional[int]:
-        d = l3[block & m3] if m3 is not None else l3[block % s3]
-        if block in d:
-            d[block] = True
-            return None
-        out = None
-        if len(d) >= a3:
-            vb = next(iter(d))
-            vd = d.pop(vb)
-            c[6] += 1
-            if vd:
-                c[7] += 1
-                out = vb
-        d[block] = True
-        return out
-
-    def spill2(block: int, wbs: List[int]) -> None:
-        d = l2[block & m2] if m2 is not None else l2[block % s2]
-        if block in d:
-            d[block] = True
-            return
-        if len(d) >= a2:
-            vb = next(iter(d))
-            vd = d.pop(vb)
-            c[2] += 1
-            if vd:
-                c[3] += 1
-                out = spill3(vb)
-                if out is not None:
-                    wbs.append(out)
-        d[block] = True
-
-    def miss_path(
-        block: int, dirty_fill: bool, v1b: int, v1d: bool
-    ) -> Tuple[List[int], bool]:
-        wbs: List[int] = []
-        if v1d:
-            spill2(v1b, wbs)
-        d = l2[block & m2] if m2 is not None else l2[block % s2]
-        line = d.get(block)
-        if line is not None:
-            del d[block]
-            d[block] = line or dirty_fill
-            c[0] += 1
-            return wbs, False
-        c[1] += 1
-        if len(d) >= a2:
-            vb = next(iter(d))
-            vd = d.pop(vb)
-            c[2] += 1
-            if vd:
-                c[3] += 1
-                out = spill3(vb)
-                if out is not None:
-                    wbs.append(out)
-        d[block] = dirty_fill
-        d = l3[block & m3] if m3 is not None else l3[block % s3]
-        line = d.get(block)
-        if line is not None:
-            del d[block]
-            d[block] = line or dirty_fill
-            c[4] += 1
-            return wbs, False
-        c[5] += 1
-        if len(d) >= a3:
-            vb = next(iter(d))
-            vd = d.pop(vb)
-            c[6] += 1
-            if vd:
-                c[7] += 1
-                wbs.append(vb)
-        d[block] = dirty_fill
-        return wbs, True
-
-    def clean(block: int) -> None:
-        d = l1[block & m1] if m1 is not None else l1[block % s1]
-        if d.get(block):
-            d[block] = False
-        d = l2[block & m2] if m2 is not None else l2[block % s2]
-        if d.get(block):
-            d[block] = False
-        d = l3[block & m3] if m3 is not None else l3[block % s3]
-        if d.get(block):
-            d[block] = False
-
-    # Dirty-residency window, primed exactly like the simulator's.
-    window = {0x100000 + i * 9: None for i in range(_WINDOW_CAPACITY)}
-
-    events: List[tuple] = []
-    append = events.append
-    l1_h = l1_m = l1_e = l1_de = 0
-    ep_count = 0
-    ep_dirty: dict = {}
-    idx = -1
-    for kind, block, persistent in zip(
-        trace.kind_codes.tolist(), _blocks_of(trace), trace.persistent_flags.tolist()
-    ):
-        idx += 1
-        if kind == 2:  # sfence
-            if use_epochs and ep_count:
-                blocks = tuple(ep_dirty)
-                for b in blocks:
-                    clean(b)
-                    window.pop(b, None)
-                append((idx, _EV_FLUSH, 0, (), False, None, blocks, ep_count))
-                ep_count = 0
-                ep_dirty = {}
-            continue
-        is_write = kind == 1
-        d1 = l1[block & m1] if m1 is not None else l1[block % s1]
-        line = d1.get(block)
-        if line is None:
-            l1_m += 1
-            v1b = 0
-            v1d = False
-            if len(d1) >= a1:
-                v1b = next(iter(d1))
-                v1d = d1.pop(v1b)
-                l1_e += 1
-                if v1d:
-                    l1_de += 1
-            dirty_fill = is_write and track
-            d1[block] = dirty_fill
-            wbs, mem = miss_path(block, dirty_fill, v1b, v1d)
-        else:
-            l1_h += 1
-            del d1[block]
-            d1[block] = line or (is_write and track)
-            wbs = None
-            mem = False
-        if is_write:
-            victim = None
-            if track:
-                if block in window:
-                    del window[block]
-                    window[block] = None
-                else:
-                    window[block] = None
-                    if len(window) > _WINDOW_CAPACITY:
-                        victim = next(iter(window))
-                        del window[victim]
-                        clean(victim)
-            if persistent or protect_stack:
-                if use_epochs:
-                    ep_count += 1
-                    if block not in ep_dirty:
-                        ep_dirty[block] = None
-                    if epoch_size is not None and ep_count >= epoch_size:
-                        flush = tuple(ep_dirty)
-                        for b in flush:
-                            clean(b)
-                            window.pop(b, None)
-                        append(
-                            (idx, _EV_STORE, block, wbs or (), mem, victim, flush, ep_count)
-                        )
-                        ep_count = 0
-                        ep_dirty = {}
-                        continue
-                elif wt:
-                    append((idx, _EV_STORE, block, wbs or (), mem, victim, None, 1))
-                    continue
-            if wbs or mem or victim is not None:
-                append((idx, _EV_STORE, block, wbs or (), mem, victim, None, 0))
-        elif mem or wbs:
-            append((idx, _EV_LOAD, block, wbs or (), mem, None, None, 0))
-
-    # End-of-trace drain: a trailing partial epoch flushes past the last
-    # op (sentinel index == len(trace), matching the scalar _drain()).
-    if use_epochs and ep_count:
-        blocks = tuple(ep_dirty)
-        for b in blocks:
-            clean(b)
-            window.pop(b, None)
-        append((idx + 1, _EV_FLUSH, 0, (), False, None, blocks, ep_count))
-
-    return PrepassResult(
-        events,
-        (l1_h, l1_m, l1_e, l1_de, c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]),
-    )
+    pre = FunctionalPrepass(cls, epoch_size, protect_stack, dims1, dims2, dims3)
+    events = pre.feed(trace.kind_codes, trace.addresses, trace.persistent_flags)
+    events.extend(pre.finish())
+    return PrepassResult(events, pre.counters)
 
 
 def _prepass_for(sim, trace: MemoryTrace) -> PrepassResult:
@@ -388,12 +539,12 @@ class MetadataScript:
         self.counts = counts
 
 
-def _make_md_cache(dims: Tuple[int, Optional[int], int]):
+def _md_access(sets: List[dict], stats: List[int], dims: Tuple[int, Optional[int], int]):
     """A metadata cache replayed as per-set dicts (Cache semantics,
-    write_through=False): value is the dirty bit, dict order is LRU."""
+    write_through=False): value is the dirty bit, dict order is LRU.
+    The sets/stats live on the caller so the closure can be rebuilt
+    per chunk without losing state."""
     num_sets, mask, assoc = dims
-    sets: List[dict] = [{} for _ in range(num_sets)]
-    stats = [0, 0, 0, 0]  # hits, misses, evictions, dirty_evictions
 
     def access(key: int, dirty: bool) -> bool:
         d = sets[key & mask] if mask is not None else sets[key % num_sets]
@@ -412,22 +563,11 @@ def _make_md_cache(dims: Tuple[int, Optional[int], int]):
         d[key] = dirty
         return False
 
-    return access, stats
+    return access
 
 
-def _metadata_replay(
-    events: List[tuple],
-    boundary: int,
-    scheme: UpdateScheme,
-    geometry,
-    bpcb: int,
-    mac_latency: int,
-    miss_latency: int,
-    dims_ctr: Tuple[int, Optional[int], int],
-    dims_mac: Tuple[int, Optional[int], int],
-    dims_bmt: Tuple[int, Optional[int], int],
-) -> MetadataScript:
-    """Replay the metadata caches and combiner over the event partition.
+class MetadataReplay:
+    """Chunk-resumable replay of the metadata caches and combiner.
 
     Mirrors, access for access, the sequence the timed handlers issue:
 
@@ -451,114 +591,250 @@ def _metadata_replay(
     can feed the scoreboards one precomputed list per ``_level_costs``
     call.  The pinned root (label 0) costs one MAC latency and never
     touches the cache, matching ``access_bmt_node``.
+
+    :meth:`feed` consumes one chunk of prepass events and buffers the
+    scripted outcomes; :meth:`take` drains the buffers.  Feeding the
+    whole event partition at once reproduces ``_metadata_replay``
+    exactly.  The cache sets, stats and combiner dict are plain
+    containers, so :meth:`export_state`/:meth:`load_state` support the
+    shard handoff (the coalescer is stateless across epochs and is
+    simply rebuilt by the receiving worker).
     """
-    ctr, ctr_c = _make_md_cache(dims_ctr)
-    mac, mac_c = _make_md_cache(dims_mac)
-    bmt, bmt_c = _make_md_cache(dims_bmt)
-    arity = geometry.arity
-    num_leaves = geometry.num_leaves
-    path_tuple = geometry.path_tuple
-    stream: List[bool] = []
-    walks: List[Tuple[List[int], int]] = []
-    comb_stream: List[bool] = []
-    emit = stream.append
-    emit_comb = comb_stream.append
-    miss_cost = mac_latency + miss_latency
-    secure_wb = scheme is UpdateScheme.SECURE_WB
-    coalescer = (
-        CoalescingUnit(geometry, policy="paired", telemetry=None)
-        if scheme is UpdateScheme.COALESCING
-        else None
+
+    __slots__ = (
+        "boundary",
+        "scheme",
+        "_geometry",
+        "_bpcb",
+        "_mac_latency",
+        "_miss_cost",
+        "_dims_ctr",
+        "_dims_mac",
+        "_dims_bmt",
+        "_ctr_sets",
+        "_ctr_stats",
+        "_mac_sets",
+        "_mac_stats",
+        "_bmt_sets",
+        "_bmt_stats",
+        "_comb",
+        "_coalescer",
+        "_secure_wb",
+        "_stream",
+        "_walks",
+        "_comb_stream",
     )
 
-    # The WPQ write-combiner (timing.{_WriteCombiner,_tuple_writes}):
-    # a 16-entry LRU over (kind, block) keys, insertion order = LRU.
-    comb: dict = {}
+    def __init__(
+        self,
+        boundary: int,
+        scheme: UpdateScheme,
+        geometry,
+        bpcb: int,
+        mac_latency: int,
+        miss_latency: int,
+        dims_ctr: Tuple[int, Optional[int], int],
+        dims_mac: Tuple[int, Optional[int], int],
+        dims_bmt: Tuple[int, Optional[int], int],
+    ) -> None:
+        self.boundary = boundary
+        self.scheme = scheme
+        self._geometry = geometry
+        self._bpcb = bpcb
+        self._mac_latency = mac_latency
+        self._miss_cost = mac_latency + miss_latency
+        self._dims_ctr = dims_ctr
+        self._dims_mac = dims_mac
+        self._dims_bmt = dims_bmt
+        self._ctr_sets = [{} for _ in range(dims_ctr[0])]
+        self._ctr_stats = [0, 0, 0, 0]  # hits, misses, evictions, dirty
+        self._mac_sets = [{} for _ in range(dims_mac[0])]
+        self._mac_stats = [0, 0, 0, 0]
+        self._bmt_sets = [{} for _ in range(dims_bmt[0])]
+        self._bmt_stats = [0, 0, 0, 0]
+        # The WPQ write-combiner (timing.{_WriteCombiner,_tuple_writes}):
+        # a 16-entry LRU over (kind, block) keys, insertion order = LRU.
+        self._comb: dict = {}
+        self._secure_wb = scheme is UpdateScheme.SECURE_WB
+        self._coalescer = (
+            CoalescingUnit(geometry, policy="paired", telemetry=None)
+            if scheme is UpdateScheme.COALESCING
+            else None
+        )
+        self._stream: List[bool] = []
+        self._walks: List[Tuple[List[int], int]] = []
+        self._comb_stream: List[bool] = []
 
-    def absorbs(key) -> None:
-        if key in comb:
-            del comb[key]
+    @property
+    def counts(self) -> Tuple[int, ...]:
+        """Cumulative ctr/mac/bmt hit/miss/eviction/dirty totals."""
+        return tuple(self._ctr_stats + self._mac_stats + self._bmt_stats)
+
+    def export_state(self) -> tuple:
+        """Picklable snapshot of the carried state (shard handoff)."""
+        return (
+            self._ctr_sets,
+            self._mac_sets,
+            self._bmt_sets,
+            list(self._ctr_stats),
+            list(self._mac_stats),
+            list(self._bmt_stats),
+            self._comb,
+        )
+
+    def load_state(self, state: tuple) -> None:
+        (
+            self._ctr_sets,
+            self._mac_sets,
+            self._bmt_sets,
+            ctr_stats,
+            mac_stats,
+            bmt_stats,
+            self._comb,
+        ) = state
+        self._ctr_stats = list(ctr_stats)
+        self._mac_stats = list(mac_stats)
+        self._bmt_stats = list(bmt_stats)
+
+    def take(self) -> Tuple[List[bool], List[Tuple[List[int], int]], List[bool]]:
+        """Drain the buffered (stream, walks, combiner) outcomes."""
+        out = (self._stream, self._walks, self._comb_stream)
+        self._stream = []
+        self._walks = []
+        self._comb_stream = []
+        return out
+
+    def feed(self, events: List[tuple]) -> None:
+        """Replay one chunk of prepass events into the buffers."""
+        ctr = _md_access(self._ctr_sets, self._ctr_stats, self._dims_ctr)
+        mac = _md_access(self._mac_sets, self._mac_stats, self._dims_mac)
+        bmt = _md_access(self._bmt_sets, self._bmt_stats, self._dims_bmt)
+        geometry = self._geometry
+        arity = geometry.arity
+        num_leaves = geometry.num_leaves
+        path_tuple = geometry.path_tuple
+        bpcb = self._bpcb
+        mac_latency = self._mac_latency
+        miss_cost = self._miss_cost
+        boundary = self.boundary
+        secure_wb = self._secure_wb
+        coalescer = self._coalescer
+        comb = self._comb
+        walks = self._walks
+        emit = self._stream.append
+        emit_comb = self._comb_stream.append
+
+        def absorbs(key) -> None:
+            if key in comb:
+                del comb[key]
+                comb[key] = None
+                emit_comb(True)
+                return
             comb[key] = None
-            emit_comb(True)
-            return
-        comb[key] = None
-        if len(comb) > 16:
-            del comb[next(iter(comb))]
-        emit_comb(False)
+            if len(comb) > 16:
+                del comb[next(iter(comb))]
+            emit_comb(False)
 
-    def tuple_writes(block: int) -> None:
-        absorbs(("data", block))
-        absorbs(("ctr", block // bpcb))
-        absorbs(("mac", block >> 3))
+        def tuple_writes(block: int) -> None:
+            absorbs(("data", block))
+            absorbs(("ctr", block // bpcb))
+            absorbs(("mac", block >> 3))
 
-    def bmt_update_walk(path) -> None:
-        costs = []
-        misses = 0
-        for label in path:
-            if label and not bmt((label - 1) // arity, True):
-                costs.append(miss_cost)
-                misses += 1
-            else:
-                costs.append(mac_latency)
-        walks.append((costs, misses))
+        def bmt_update_walk(path) -> None:
+            costs = []
+            misses = 0
+            for label in path:
+                if label and not bmt((label - 1) // arity, True):
+                    costs.append(miss_cost)
+                    misses += 1
+                else:
+                    costs.append(mac_latency)
+            walks.append((costs, misses))
 
-    def writeback(victim: int) -> None:
-        emit(ctr(victim // bpcb, True))
-        emit(mac(victim >> 3, True))
-        tuple_writes(victim)
-        if secure_wb:
-            bmt_update_walk(path_tuple(victim // bpcb % num_leaves))
+        def writeback(victim: int) -> None:
+            emit(ctr(victim // bpcb, True))
+            emit(mac(victim >> 3, True))
+            tuple_writes(victim)
+            if secure_wb:
+                bmt_update_walk(path_tuple(victim // bpcb % num_leaves))
 
-    def flush(blocks) -> None:
-        for b in blocks:
-            emit(ctr(b // bpcb, True))
-            emit(mac(b >> 3, True))
-            tuple_writes(b)
-        if coalescer is not None:
-            # Pairing depends only on the leaf sequence, not the ids.
-            pairs = [(i, b // bpcb % num_leaves) for i, b in enumerate(blocks)]
-            for persist in coalescer.coalesce_epoch(pairs):
-                if persist.path:
-                    bmt_update_walk(persist.path)
-        else:
+        def flush(blocks) -> None:
             for b in blocks:
-                bmt_update_walk(path_tuple(b // bpcb % num_leaves))
+                emit(ctr(b // bpcb, True))
+                emit(mac(b >> 3, True))
+                tuple_writes(b)
+            if coalescer is not None:
+                # Pairing depends only on the leaf sequence, not the ids.
+                pairs = [(i, b // bpcb % num_leaves) for i, b in enumerate(blocks)]
+                for persist in coalescer.coalesce_epoch(pairs):
+                    if persist.path:
+                        bmt_update_walk(persist.path)
+            else:
+                for b in blocks:
+                    bmt_update_walk(path_tuple(b // bpcb % num_leaves))
 
-    for ev in events:
-        tag = ev[1]
-        if tag == _EV_STORE:
-            for victim in ev[3]:
-                writeback(victim)
-            if ev[5] is not None and ev[0] >= boundary:
-                writeback(ev[5])
-            if ev[6] is not None:
+        for ev in events:
+            tag = ev[1]
+            if tag == _EV_STORE:
+                for victim in ev[3]:
+                    writeback(victim)
+                if ev[5] is not None and ev[0] >= boundary:
+                    writeback(ev[5])
+                if ev[6] is not None:
+                    flush(ev[6])
+                elif ev[7]:
+                    block = ev[2]
+                    emit(ctr(block // bpcb, True))
+                    emit(mac(block >> 3, True))
+                    bmt_update_walk(path_tuple(block // bpcb % num_leaves))
+                    tuple_writes(block)
+            elif tag == _EV_LOAD:
+                for victim in ev[3]:
+                    writeback(victim)
+                if ev[4]:
+                    block = ev[2]
+                    emit(ctr(block // bpcb, False))
+                    emit(mac(block >> 3, False))
+                    for label in path_tuple(block // bpcb % num_leaves):
+                        if label == 0:
+                            break  # pinned root: trusted, no cache touch
+                        hit = bmt((label - 1) // arity, False)
+                        emit(hit)
+                        if hit:
+                            break  # verification stops at a trusted node
+            else:  # _EV_FLUSH
                 flush(ev[6])
-            elif ev[7]:
-                block = ev[2]
-                emit(ctr(block // bpcb, True))
-                emit(mac(block >> 3, True))
-                bmt_update_walk(path_tuple(block // bpcb % num_leaves))
-                tuple_writes(block)
-        elif tag == _EV_LOAD:
-            for victim in ev[3]:
-                writeback(victim)
-            if ev[4]:
-                block = ev[2]
-                emit(ctr(block // bpcb, False))
-                emit(mac(block >> 3, False))
-                for label in path_tuple(block // bpcb % num_leaves):
-                    if label == 0:
-                        break  # pinned root: trusted, no cache touch
-                    hit = bmt((label - 1) // arity, False)
-                    emit(hit)
-                    if hit:
-                        break  # verification stops at a trusted node
-        else:  # _EV_FLUSH
-            flush(ev[6])
 
-    return MetadataScript(
-        stream, walks, comb_stream, tuple(ctr_c + mac_c + bmt_c)
+
+def _metadata_replay(
+    events: List[tuple],
+    boundary: int,
+    scheme: UpdateScheme,
+    geometry,
+    bpcb: int,
+    mac_latency: int,
+    miss_latency: int,
+    dims_ctr: Tuple[int, Optional[int], int],
+    dims_mac: Tuple[int, Optional[int], int],
+    dims_bmt: Tuple[int, Optional[int], int],
+) -> MetadataScript:
+    """Replay the whole event partition in one :class:`MetadataReplay`
+    feed — the memoized whole-trace script and the chunked streaming
+    path share the same replay code."""
+    md = MetadataReplay(
+        boundary,
+        scheme,
+        geometry,
+        bpcb,
+        mac_latency,
+        miss_latency,
+        dims_ctr,
+        dims_mac,
+        dims_bmt,
     )
+    md.feed(events)
+    stream, walks, comb_stream = md.take()
+    return MetadataScript(stream, walks, comb_stream, md.counts)
 
 
 def _metadata_script_for(sim, trace: MemoryTrace, boundary: int) -> MetadataScript:
@@ -765,7 +1041,7 @@ def run_batched(sim, trace: MemoryTrace, warmup_fraction: float):
             counter(f"{name}.evictions").value += mc[off + 2]
             counter(f"{name}.dirty_evictions").value += mc[off + 3]
 
-    return sim._make_result(trace, window, total_instr)
+    return sim._make_result(trace.name, window, total_instr)
 
 
 def _probe(nxt):
@@ -779,16 +1055,20 @@ def _probe(nxt):
 def _record_epoch(tracker, blocks, store_count: int) -> None:
     """Mirror the EpochTracker bookkeeping for a flushed epoch so
     post-run inspection (``total_persists`` etc.) matches the scalar
-    engines."""
+    engines.  Honors ``retain_closed`` so streaming runs stay O(1)."""
     if tracker is None:
         return
-    closed = tracker._closed
-    closed.append(
-        Epoch(
-            epoch_id=len(closed),
-            store_count=store_count,
-            dirty_blocks=dict.fromkeys(blocks),
-            closed=True,
+    epoch_id = tracker.closed_count
+    tracker.closed_count = epoch_id + 1
+    tracker.closed_store_count += store_count
+    tracker.closed_persist_count += len(blocks)
+    if tracker.retain_closed:
+        tracker._closed.append(
+            Epoch(
+                epoch_id=epoch_id,
+                store_count=store_count,
+                dirty_blocks=dict.fromkeys(blocks),
+                closed=True,
+            )
         )
-    )
-    tracker._current = Epoch(epoch_id=len(closed))
+    tracker._current = Epoch(epoch_id=epoch_id + 1)

@@ -79,6 +79,59 @@ class SimResult:
         return self.cycles / baseline.cycles
 
 
+def merge_results(partials: List["SimResult"]) -> "SimResult":
+    """Merge per-shard partial :class:`SimResult`\\ s into the whole-run one.
+
+    Every top-level field of a partial is a *delta* over its shard
+    (cycles are the integer-truncated end-cycle difference between
+    consecutive shard boundaries, so they telescope; the counter stats
+    are flat per-shard differences), which makes the merge exact: sums
+    of deltas reproduce the unsharded integers bit for bit.  The sharded
+    runner's differential check (``bench_perf``/tests) asserts exactly
+    that against a direct run for every scheme.
+    """
+    if not partials:
+        raise ValueError("merge_results needs at least one partial result")
+    first = partials[0]
+    for other in partials[1:]:
+        if other.scheme != first.scheme or other.trace_name != first.trace_name:
+            raise ValueError(
+                "cannot merge results from different schemes or traces: "
+                f"{first.scheme}/{first.trace_name} vs {other.scheme}/{other.trace_name}"
+            )
+    from repro.sim.stats import merge_stat_dicts
+
+    return SimResult(
+        scheme=first.scheme,
+        trace_name=first.trace_name,
+        cycles=max(sum(p.cycles for p in partials), 1),
+        instructions=sum(p.instructions for p in partials),
+        persists=sum(p.persists for p in partials),
+        node_updates=sum(p.node_updates for p in partials),
+        bmt_cache_misses=sum(p.bmt_cache_misses for p in partials),
+        stats=merge_stat_dicts([p.stats for p in partials]),
+    )
+
+
+def _source_name_len(source) -> Tuple[str, int]:
+    """Name and op count of a chunk source (TraceReader or MemoryTrace)."""
+    if hasattr(source, "summary"):
+        summary = source.summary()
+        return summary.name, summary.record_count
+    return source.name, len(source)
+
+
+def _source_chunks(source, segment_ops: Optional[int]):
+    """Chunk iterator of a source, honoring an explicit chunk size.
+
+    On-disk readers chunk at the segment boundaries baked into the v2
+    file; only in-memory traces accept a chunk-size override.
+    """
+    if segment_ops is not None and isinstance(source, MemoryTrace):
+        return source.chunks(segment_ops)
+    return source.chunks()
+
+
 class _WriteCombiner:
     """WPQ write-combining: merges back-to-back writes to one block.
 
@@ -307,16 +360,83 @@ class TraceSimulator:
                 store(address >> 6, persistent or protect_stack)
         self._ticks = ticks
         self._drain()
-        return self._make_result(trace, window, instructions)
+        return self._make_result(trace.name, window, instructions)
+
+    def run_stream(
+        self, source, warmup_fraction: float = 0.2, segment_ops: Optional[int] = None
+    ) -> SimResult:
+        """Simulate a chunked trace source without materializing it.
+
+        ``source`` is anything yielding packed column chunks — a
+        :class:`~repro.workloads.trace.TraceReader` over an on-disk v2
+        trace (the bounded-memory path) or an in-memory
+        :class:`MemoryTrace`.  The result is bit-identical to
+        ``run(trace, warmup_fraction)`` on the materialized trace for
+        every engine; only the memory profile differs: peak RSS is
+        O(chunk), the prepass/metadata memos are skipped, and closed
+        epochs are counted, not retained.
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.epochs is not None:
+            self.epochs.retain_closed = False
+        if self.config.engine == "batched":
+            from repro.sim.stream import run_batched_stream
+
+            return run_batched_stream(self, source, warmup_fraction, segment_ops)
+        return self._run_scalar_stream(source, warmup_fraction, segment_ops)
+
+    def _run_scalar_stream(
+        self, source, warmup_fraction: float, segment_ops: Optional[int] = None
+    ) -> SimResult:
+        """The scalar loop of ``_run_scalar``, fed one chunk at a time."""
+        name, total = _source_name_len(source)
+        boundary = int(total * warmup_fraction)
+        instructions = 0
+        window = _WindowSnapshot()
+        self._in_warmup = boundary > 0
+        protect_stack = self._protect_stack
+        load = self._load
+        store = self._store
+        barrier = self._barrier
+        sfence = KIND_SFENCE
+        load_kind = KIND_LOAD
+        ticks = self._ticks
+        index = 0
+        for chunk in _source_chunks(source, segment_ops):
+            for kind, address, gap, persistent in zip(
+                chunk.kind_codes, chunk.addresses, chunk.gaps, chunk.persistent_flags
+            ):
+                if index == boundary:
+                    self._in_warmup = False
+                    self._ticks = ticks
+                    window = self._snapshot(instructions)
+                index += 1
+                instructions += gap + 1
+                if kind == sfence:
+                    self._ticks = ticks + gap
+                    ticks = self._ticks
+                    barrier()
+                elif kind == load_kind:
+                    ticks += gap + 1
+                    self._ticks = ticks
+                    load(address >> 6)
+                else:
+                    ticks += gap + 1
+                    self._ticks = ticks
+                    store(address >> 6, persistent or protect_stack)
+        self._ticks = ticks
+        self._drain()
+        return self._make_result(name, window, instructions)
 
     def _make_result(
-        self, trace: MemoryTrace, window: "_WindowSnapshot", instructions: int
+        self, trace_name: str, window: "_WindowSnapshot", instructions: int
     ) -> SimResult:
         end_cycle = max(self._clock(), float(self._last_completion))
         cycles = int(end_cycle - window.cycles)
         return SimResult(
             scheme=self.scheme.value,
-            trace_name=trace.name,
+            trace_name=trace_name,
             cycles=max(cycles, 1),
             instructions=instructions - window.instructions,
             persists=self._persist_count - window.persists,

@@ -19,13 +19,20 @@ from repro.workloads.trace import (
 )
 from repro.workloads.synthetic import (
     SyntheticSpec,
+    emit_ops,
     generate_trace,
+    kvstore_trace,
+    lca_pingpong,
+    lca_pingpong_ops,
+    multi_tenant,
+    multi_tenant_ops,
+    pointer_chase,
     sequential_stream,
+    stream_trace,
     strided_stream,
+    synthetic_ops,
     uniform_random,
     zipfian,
-    pointer_chase,
-    kvstore_trace,
 )
 from repro.workloads.spec_profiles import SpecProfile, SPEC_PROFILES, profile_trace
 
@@ -38,13 +45,20 @@ __all__ = [
     "TraceRecord",
     "OpKind",
     "SyntheticSpec",
+    "emit_ops",
     "generate_trace",
+    "kvstore_trace",
+    "lca_pingpong",
+    "lca_pingpong_ops",
+    "multi_tenant",
+    "multi_tenant_ops",
+    "pointer_chase",
     "sequential_stream",
+    "stream_trace",
     "strided_stream",
+    "synthetic_ops",
     "uniform_random",
     "zipfian",
-    "pointer_chase",
-    "kvstore_trace",
     "SpecProfile",
     "SPEC_PROFILES",
     "profile_trace",

@@ -20,14 +20,19 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.workloads.trace import (
+    DEFAULT_SEGMENT_OPS,
     KIND_LOAD,
     KIND_SFENCE,
     KIND_STORE,
     MemoryTrace,
+    TraceWriter,
 )
+
+Op = Tuple[int, int, int, int]
+"""One packed record: ``(kind_code, address, gap, persistent)``."""
 
 BLOCK = 64
 PAGE_BLOCKS = 64
@@ -115,10 +120,12 @@ def calibrate_pool(target_uniques: float, new_rate: float, window: int) -> int:
 class _StoreStream:
     """The working-pool store address process."""
 
-    def __init__(self, spec: SyntheticSpec, rng: random.Random) -> None:
+    def __init__(
+        self, spec: SyntheticSpec, rng: random.Random, base: int = HEAP_BASE
+    ) -> None:
         self._spec = spec
         self._rng = rng
-        self._next_block = HEAP_BASE // BLOCK
+        self._next_block = base // BLOCK
         self._page_fill = 0
         # Pre-fill the working pool: the initial working set exists even
         # for workloads that never allocate fresh blocks (new_block_rate
@@ -330,3 +337,216 @@ def kvstore_trace(
         else:
             append_op(KIND_LOAD, slot_addr, gap)
     return trace
+
+
+# ----------------------------------------------------------------------
+# Streaming emission and adversarial generators
+# ----------------------------------------------------------------------
+
+
+def emit_ops(sink, ops: Iterable[Op]):
+    """Feed an op iterator into any ``append_op`` sink.
+
+    ``sink`` is either a :class:`MemoryTrace` (in-memory materialization)
+    or a :class:`~repro.workloads.trace.TraceWriter` (bounded-memory
+    emission straight to a v2 file) — both expose the same
+    ``append_op(kind, address, gap, persistent)``.  Returns the sink.
+    """
+    append_op = sink.append_op
+    for code, address, gap, persistent in ops:
+        append_op(code, address, gap, persistent)
+    return sink
+
+
+def stream_trace(
+    path,
+    ops: Iterable[Op],
+    name: str = "synthetic",
+    segment_ops: int = DEFAULT_SEGMENT_OPS,
+) -> int:
+    """Write an op iterator straight to a chunked v2 trace file.
+
+    Peak memory is one segment's columns regardless of trace length —
+    this is how 10M-op benchmark traces are produced without ever
+    holding a 10M-op :class:`MemoryTrace`.  Returns the record count.
+    """
+    with TraceWriter(path, name=name, segment_ops=segment_ops) as writer:
+        emit_ops(writer, ops)
+        return writer.count
+
+
+def synthetic_ops(spec: SyntheticSpec) -> Iterator[Op]:
+    """Streaming working-pool op process for arbitrarily long traces.
+
+    The O(1)-memory sibling of :func:`generate_trace`: same store/load
+    working-pool process and rates, but the store/load interleave is
+    drawn by sequential sampling (exactly ``stores`` stores, uniformly
+    interleaved) instead of materializing and shuffling an op-type list.
+    The RNG consumption order therefore differs from
+    :func:`generate_trace` — for a given seed the two produce different
+    (equally valid) traces, and only this one can be piped through
+    :func:`stream_trace` at 10M+ ops.
+    """
+    rng = random.Random(spec.seed)
+    stores = max(1, round(spec.kilo_instructions * spec.stores_per_ki))
+    loads = max(0, round(spec.kilo_instructions * spec.loads_per_ki))
+    total_ops = stores + loads
+    total_instructions = spec.kilo_instructions * 1000
+    gap_budget = max(0, total_instructions - total_ops)
+    base_gap, remainder = divmod(gap_budget, total_ops)
+
+    store_stream = _StoreStream(spec, rng)
+    load_frontier = HEAP_BASE // BLOCK + (1 << 20)
+    stack_cursor = 0
+    stores_left = stores
+
+    for index in range(total_ops):
+        gap = base_gap + (1 if index < remainder else 0)
+        ops_left = total_ops - index
+        if rng.random() * ops_left < stores_left:
+            stores_left -= 1
+            if rng.random() < spec.stack_store_fraction:
+                stack_cursor = (stack_cursor + 1) % STACK_BLOCKS
+                yield (KIND_STORE, STACK_BASE + stack_cursor * BLOCK, gap, 0)
+            else:
+                block = store_stream.next_block()
+                yield (KIND_STORE, block * BLOCK, gap, 1)
+        else:
+            pool = store_stream.recent_blocks()
+            if pool and rng.random() < spec.load_reuse_fraction:
+                block = rng.choice(pool)
+            else:
+                block = load_frontier
+                load_frontier += 1
+            yield (KIND_LOAD, block * BLOCK, gap, 1)
+
+
+def lca_pingpong_ops(
+    num_stores: int,
+    separation_blocks: int = 1 << 22,
+    pairs: int = 4,
+    sfence_every: int = 64,
+    start: int = HEAP_BASE,
+    gap: int = 8,
+    seed: int = 19,
+) -> Iterator[Op]:
+    """LCA-pathological sibling ping-pong (adversarial for coalescing).
+
+    Persistent stores strictly alternate between the two sides of
+    ``pairs`` block pairs whose members sit ``separation_blocks`` apart,
+    so every *consecutive* persist pair diverges near the BMT root: the
+    lowest common ancestor is maximally shallow and update coalescing
+    (§IV-B2) finds almost no shared path to absorb.  Rotating through
+    several pairs additionally defeats counter/MAC cache reuse.  With
+    ``sfence_every > 0`` an SFENCE closes an epoch every that many
+    stores, exercising epoch-drain sharding splits on a worst-case
+    persist stream.  Fully deterministic in ``seed`` (it only jitters
+    each pair's position within its page).
+    """
+    if num_stores < 0:
+        raise ValueError("num_stores must be non-negative")
+    if separation_blocks <= PAGE_BLOCKS:
+        raise ValueError("separation_blocks must exceed one page")
+    rng = random.Random(seed)
+    base_block = start // BLOCK
+    lefts = [
+        base_block + p * PAGE_BLOCKS + rng.randrange(PAGE_BLOCKS)
+        for p in range(max(1, pairs))
+    ]
+    npairs = len(lefts)
+    since_fence = 0
+    for i in range(num_stores):
+        block = lefts[(i // 2) % npairs]
+        if i & 1:
+            block += separation_blocks
+        yield (KIND_STORE, block * BLOCK, gap, 1)
+        since_fence += 1
+        if sfence_every > 0 and since_fence >= sfence_every:
+            yield (KIND_SFENCE, 0, 0, 0)
+            since_fence = 0
+
+
+def lca_pingpong(num_stores: int, **kwargs) -> MemoryTrace:
+    """Materialized :func:`lca_pingpong_ops` trace."""
+    trace = MemoryTrace(name="lca_pingpong")
+    return emit_ops(trace, lca_pingpong_ops(num_stores, **kwargs))
+
+
+def multi_tenant_ops(
+    clients: int = 4,
+    ops_per_client: int = 25_000,
+    tenant_stride_blocks: int = 1 << 26,
+    store_fraction: float = 0.4,
+    sfence_every: int = 0,
+    gap: int = 6,
+    seed: int = 23,
+    spec: Optional[SyntheticSpec] = None,
+) -> Iterator[Op]:
+    """Multi-tenant interleaved-client mixer.
+
+    ``clients`` independent working-pool processes, each confined to its
+    own region (``tenant_stride_blocks`` apart, so tenants share no
+    counter blocks and only shallow BMT ancestors), interleaved into one
+    op stream by remaining-count sequential sampling.  The interleave
+    destroys per-tenant temporal locality at the metadata caches — the
+    adversarial contrast to the single-client generators — while each
+    tenant's own stream keeps its working-pool reuse.  O(1) memory per
+    op and fully deterministic in ``seed`` (each tenant derives its own
+    sub-seeded RNG, so adding a tenant never perturbs the others'
+    address streams).
+    """
+    if clients < 1:
+        raise ValueError("clients must be positive")
+    if not 0.0 <= store_fraction <= 1.0:
+        raise ValueError("store_fraction must be within [0, 1]")
+    base_spec = spec if spec is not None else SyntheticSpec(
+        pool_blocks=32, new_block_rate=0.02, page_run=4.0
+    )
+    mixer = random.Random(seed)
+    tenants = []
+    for c in range(clients):
+        rng = random.Random(seed * 1_000_003 + c + 1)
+        base = HEAP_BASE + c * tenant_stride_blocks * BLOCK
+        tenants.append(
+            {
+                "rng": rng,
+                "stream": _StoreStream(base_spec, rng, base=base),
+                "load_frontier": base // BLOCK + (1 << 20),
+                "left": ops_per_client,
+            }
+        )
+    total_left = clients * ops_per_client
+    since_fence = 0
+    while total_left:
+        pick = mixer.random() * total_left
+        acc = 0.0
+        tenant = tenants[-1]
+        for t in tenants:
+            acc += t["left"]
+            if pick < acc:
+                tenant = t
+                break
+        tenant["left"] -= 1
+        total_left -= 1
+        rng = tenant["rng"]
+        if rng.random() < store_fraction:
+            block = tenant["stream"].next_block()
+            yield (KIND_STORE, block * BLOCK, gap, 1)
+            since_fence += 1
+            if sfence_every > 0 and since_fence >= sfence_every:
+                yield (KIND_SFENCE, 0, 0, 0)
+                since_fence = 0
+        else:
+            pool = tenant["stream"].recent_blocks()
+            if rng.random() < 0.7:
+                block = rng.choice(pool)
+            else:
+                block = tenant["load_frontier"]
+                tenant["load_frontier"] += 1
+            yield (KIND_LOAD, block * BLOCK, gap, 1)
+
+
+def multi_tenant(**kwargs) -> MemoryTrace:
+    """Materialized :func:`multi_tenant_ops` trace."""
+    trace = MemoryTrace(name="multi_tenant")
+    return emit_ops(trace, multi_tenant_ops(**kwargs))

@@ -166,9 +166,29 @@ class _RecordsView(Sequence):
                 and a.persistent_flags == b.persistent_flags
             )
         if isinstance(other, (list, tuple)):
-            return len(self) == len(other) and all(
-                mine == theirs for mine, theirs in zip(self, other)
-            )
+            # Compare the packed columns against the records directly —
+            # no TraceRecord is materialized on our side.
+            trace = self._trace
+            if len(self) != len(other):
+                return False
+            code_to_kind = _CODE_TO_KIND
+            for code, address, gap, persistent, theirs in zip(
+                trace.kind_codes,
+                trace.addresses,
+                trace.gaps,
+                trace.persistent_flags,
+                other,
+            ):
+                if not isinstance(theirs, TraceRecord):
+                    return False
+                if (
+                    code_to_kind[code] is not theirs.kind
+                    or address != theirs.address
+                    or gap != theirs.gap
+                    or bool(persistent) != theirs.persistent
+                ):
+                    return False
+            return True
         return NotImplemented
 
     def __ne__(self, other: object) -> bool:
@@ -183,9 +203,33 @@ class _RecordsView(Sequence):
 
 # Binary trace format: little-endian header followed by the raw bytes
 # of the four columns in declaration order.
+#
+# v1 stores the whole trace column-major (all kind codes, then all
+# addresses, ...), so loading is four bulk reads but anything less than
+# the full trace cannot be read without seeking per column.
+#
+# v2 is the chunked layout for multi-GB traces: the header grows a
+# segment-size field and the offset of a trailing per-segment index,
+# and the payload is a sequence of fixed-size *segments*, each holding
+# its own four column slices back-to-back.  Every index entry carries
+# the segment's byte offset plus summary statistics (loads, stores,
+# persistent stores, sfences, gap sum), so inspecting a trace — or
+# planning shard boundaries near even op splits — touches only the
+# header and the index, never the column data.  The index lives at the
+# end so :class:`TraceWriter` can stream segments to disk and backpatch
+# the header on close.
 TRACE_MAGIC = b"PLPTRACE"
 TRACE_FORMAT_VERSION = 1
+TRACE_FORMAT_VERSION_V2 = 2
 _HEADER = struct.Struct("<8sHHIQ")  # magic, version, reserved, name length, record count
+# v2 header: the v1 fields followed by segment size (ops), segment
+# count, and the byte offset of the segment index.
+_HEADER_V2 = struct.Struct("<8sHHIQIIQ")
+# One index entry per segment: byte offset, op count, loads, stores,
+# persistent stores, sfences, gap sum.
+_SEGMENT_ENTRY = struct.Struct("<QIIIIIQ")
+DEFAULT_SEGMENT_OPS = 1 << 18
+_ROW_BYTES = 14  # 1 B kind + 8 B address + 4 B gap + 1 B flag
 _BIG_ENDIAN = sys.byteorder == "big"
 
 
@@ -287,6 +331,22 @@ class MemoryTrace:
     def __repr__(self) -> str:
         return f"MemoryTrace(name={self.name!r}, records={len(self)})"
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryTrace):
+            return NotImplemented
+        # Column-direct comparison: four array equality checks, no
+        # per-record materialization.
+        return (
+            self.name == other.name
+            and self.kind_codes == other.kind_codes
+            and self.addresses == other.addresses
+            and self.gaps == other.gaps
+            and self.persistent_flags == other.persistent_flags
+        )
+
+    # Traces stay identity-hashable (memo tables key on the instance).
+    __hash__ = object.__hash__
+
     # ------------------------------------------------------------------
     # statistics (cached; invalidated by append / records assignment)
     # ------------------------------------------------------------------
@@ -380,8 +440,21 @@ class MemoryTrace:
     # binary (de)serialization: header + raw little-endian column bytes
     # ------------------------------------------------------------------
 
-    def to_bytes(self) -> bytes:
-        """Serialize to the versioned binary trace format."""
+    def to_bytes(self, version: int = TRACE_FORMAT_VERSION, segment_ops: int = DEFAULT_SEGMENT_OPS) -> bytes:
+        """Serialize to the versioned binary trace format.
+
+        ``version=2`` emits the chunked layout (``segment_ops`` ops per
+        segment) via an in-memory :class:`TraceWriter`.
+        """
+        if version == TRACE_FORMAT_VERSION_V2:
+            import io
+
+            buf = io.BytesIO()
+            with TraceWriter(buf, name=self.name, segment_ops=segment_ops) as writer:
+                writer.extend_packed(*self._columns())
+            return buf.getvalue()
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceFormatError(f"cannot serialize trace format version {version}")
         name_bytes = self.name.encode("utf-8")
         columns = self._columns()
         if _BIG_ENDIAN:
@@ -406,9 +479,13 @@ class MemoryTrace:
         magic, version, _reserved, name_len, count = _HEADER.unpack_from(blob)
         if magic != TRACE_MAGIC:
             raise TraceFormatError(f"bad trace magic {magic!r} (expected {TRACE_MAGIC!r})")
+        if version == TRACE_FORMAT_VERSION_V2:
+            with TraceReader.from_bytes(blob) as reader:
+                return reader.read_all()
         if version != TRACE_FORMAT_VERSION:
             raise TraceFormatError(
-                f"unsupported trace format version {version} (expected {TRACE_FORMAT_VERSION})"
+                f"unsupported trace format version {version} (expected "
+                f"{TRACE_FORMAT_VERSION} or {TRACE_FORMAT_VERSION_V2})"
             )
         trace = cls()
         offset = _HEADER.size
@@ -443,8 +520,23 @@ class MemoryTrace:
                 col.byteswap()
         return trace
 
-    def save_binary(self, path: Union[str, Path]) -> None:
-        """Write the binary trace format (columns via ``array.tofile``)."""
+    def save_binary(
+        self,
+        path: Union[str, Path],
+        version: int = TRACE_FORMAT_VERSION,
+        segment_ops: int = DEFAULT_SEGMENT_OPS,
+    ) -> None:
+        """Write the binary trace format (columns via ``array.tofile``).
+
+        ``version=2`` writes the chunked layout through
+        :class:`TraceWriter` with ``segment_ops`` ops per segment.
+        """
+        if version == TRACE_FORMAT_VERSION_V2:
+            with TraceWriter(path, name=self.name, segment_ops=segment_ops) as writer:
+                writer.extend_packed(*self._columns())
+            return
+        if version != TRACE_FORMAT_VERSION:
+            raise TraceFormatError(f"cannot serialize trace format version {version}")
         name_bytes = self.name.encode("utf-8")
         columns = self._columns()
         if _BIG_ENDIAN:
@@ -477,6 +569,9 @@ class MemoryTrace:
                 raise TraceFormatError(
                     f"bad trace magic {magic!r} in {path!s} (expected {TRACE_MAGIC!r})"
                 )
+            if version == TRACE_FORMAT_VERSION_V2:
+                with TraceReader(path) as reader:
+                    return reader.read_all()
             if version != TRACE_FORMAT_VERSION:
                 raise TraceFormatError(
                     f"unsupported trace format version {version} in {path!s}"
@@ -512,8 +607,616 @@ class MemoryTrace:
     def _columns(self) -> Tuple[array, array, array, array]:
         return (self.kind_codes, self.addresses, self.gaps, self.persistent_flags)
 
+    def chunks(self, segment_ops: int = DEFAULT_SEGMENT_OPS) -> Iterator["TraceChunk"]:
+        """Yield the packed columns as :class:`TraceChunk` slices.
+
+        Gives an in-memory trace the same chunk-iterator shape a
+        :class:`TraceReader` produces for an on-disk v2 trace, so the
+        streaming engine entry points accept either source.
+        """
+        if segment_ops < 1:
+            raise ValueError("segment_ops must be >= 1")
+        total = len(self)
+        for start in range(0, total, segment_ops):
+            stop = min(start + segment_ops, total)
+            yield TraceChunk(
+                start,
+                self.kind_codes[start:stop],
+                self.addresses[start:stop],
+                self.gaps[start:stop],
+                self.persistent_flags[start:stop],
+            )
+
     @staticmethod
     def _swapped(col: array) -> array:
         copy = array(col.typecode, col)
         copy.byteswap()
         return copy
+
+
+class TraceChunk:
+    """A contiguous run of packed trace columns starting at op ``start``.
+
+    The unit the bounded-memory paths trade in: :class:`TraceReader`
+    yields chunks from disk, :meth:`MemoryTrace.chunks` slices them from
+    memory, and the streaming engine entry points consume them without
+    ever materializing :class:`TraceRecord` objects.
+    """
+
+    __slots__ = ("start", "kind_codes", "addresses", "gaps", "persistent_flags")
+
+    def __init__(
+        self,
+        start: int,
+        kind_codes: array,
+        addresses: array,
+        gaps: array,
+        persistent_flags: array,
+    ) -> None:
+        self.start = start
+        self.kind_codes = kind_codes
+        self.addresses = addresses
+        self.gaps = gaps
+        self.persistent_flags = persistent_flags
+
+    def __len__(self) -> int:
+        return len(self.kind_codes)
+
+    def __repr__(self) -> str:
+        return f"TraceChunk(start={self.start}, ops={len(self)})"
+
+
+class TraceSegment:
+    """One v2 index entry: where a segment lives and what it holds."""
+
+    __slots__ = ("offset", "count", "loads", "stores", "persistent_stores", "sfences", "gap_sum")
+
+    def __init__(
+        self,
+        offset: int,
+        count: int,
+        loads: int,
+        stores: int,
+        persistent_stores: int,
+        sfences: int,
+        gap_sum: int,
+    ) -> None:
+        self.offset = offset
+        self.count = count
+        self.loads = loads
+        self.stores = stores
+        self.persistent_stores = persistent_stores
+        self.sfences = sfences
+        self.gap_sum = gap_sum
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceSegment(offset={self.offset}, count={self.count}, "
+            f"loads={self.loads}, stores={self.stores}, "
+            f"persistent_stores={self.persistent_stores}, "
+            f"sfences={self.sfences}, gap_sum={self.gap_sum})"
+        )
+
+
+class TraceSummary:
+    """Whole-trace statistics assembled from the v2 segment index.
+
+    For a v2 trace this costs only the header + index read (O(1) in the
+    trace length); for v1 the reader streams the columns once in bounded
+    memory.  ``touched_blocks`` is deliberately absent — it requires the
+    address column.
+    """
+
+    __slots__ = (
+        "name",
+        "version",
+        "record_count",
+        "segment_ops",
+        "num_segments",
+        "loads",
+        "stores",
+        "persistent_stores",
+        "sfences",
+        "gap_sum",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        version: int,
+        record_count: int,
+        segment_ops: int,
+        num_segments: int,
+        loads: int,
+        stores: int,
+        persistent_stores: int,
+        sfences: int,
+        gap_sum: int,
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.record_count = record_count
+        self.segment_ops = segment_ops
+        self.num_segments = num_segments
+        self.loads = loads
+        self.stores = stores
+        self.persistent_stores = persistent_stores
+        self.sfences = sfences
+        self.gap_sum = gap_sum
+
+    @property
+    def instruction_count(self) -> int:
+        """Every record (sfences included) plus the gaps between them."""
+        return self.record_count + self.gap_sum
+
+    def stores_per_kilo_instruction(self, persistent_only: bool = False) -> float:
+        instructions = self.instruction_count
+        if instructions == 0:
+            return 0.0
+        stores = self.persistent_stores if persistent_only else self.stores
+        return 1000.0 * stores / instructions
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceSummary(name={self.name!r}, version={self.version}, "
+            f"records={self.record_count}, segments={self.num_segments})"
+        )
+
+
+class TraceWriter:
+    """Streaming v2 trace writer: append ops, segments flush to disk.
+
+    Buffers at most one segment's columns in memory; ``close`` writes
+    the trailing segment index and backpatches the header with the true
+    record and segment counts.  Accepts a path or a writable seekable
+    binary file object (``io.BytesIO`` works for in-memory round trips).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path, object],
+        name: str = "trace",
+        segment_ops: int = DEFAULT_SEGMENT_OPS,
+    ) -> None:
+        if segment_ops < 1:
+            raise ValueError("segment_ops must be >= 1")
+        self.name = name
+        self.segment_ops = segment_ops
+        self._name_bytes = name.encode("utf-8")
+        if hasattr(path, "write"):
+            self._fh = path
+            self._owns_fh = False
+        else:
+            self._fh = open(path, "wb")
+            self._owns_fh = True
+        self._count = 0
+        self._entries: List[Tuple[int, int, int, int, int, int, int]] = []
+        self._closed = False
+        self._reset_buffers()
+        # Placeholder header; count / num_segments / index_offset are
+        # backpatched on close.
+        self._fh.write(
+            _HEADER_V2.pack(
+                TRACE_MAGIC, TRACE_FORMAT_VERSION_V2, 0, len(self._name_bytes), 0, segment_ops, 0, 0
+            )
+        )
+        self._fh.write(self._name_bytes)
+
+    def _reset_buffers(self) -> None:
+        self._kinds = array("B")
+        self._addrs = array("Q")
+        self._gaps = array("I")
+        self._flags = array("B")
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+
+    def append_op(self, code: int, address: int = 0, gap: int = 0, persistent: int = 1) -> None:
+        """Append one packed record (mirrors :meth:`MemoryTrace.append_op`)."""
+        self._kinds.append(code)
+        self._addrs.append(address)
+        self._gaps.append(gap)
+        self._flags.append(persistent)
+        if len(self._kinds) >= self.segment_ops:
+            self._flush_segment()
+
+    def append(self, record: TraceRecord) -> None:
+        self.append_op(
+            _KIND_TO_CODE[record.kind],
+            record.address,
+            record.gap,
+            1 if record.persistent else 0,
+        )
+
+    def extend_packed(self, kinds: array, addresses: array, gaps: array, flags: array) -> None:
+        """Bulk-append parallel column slices (segment-boundary aware)."""
+        total = len(kinds)
+        pos = 0
+        while pos < total:
+            room = self.segment_ops - len(self._kinds)
+            take = min(room, total - pos)
+            end = pos + take
+            self._kinds.extend(kinds[pos:end])
+            self._addrs.extend(addresses[pos:end])
+            self._gaps.extend(gaps[pos:end])
+            self._flags.extend(flags[pos:end])
+            pos = end
+            if len(self._kinds) >= self.segment_ops:
+                self._flush_segment()
+
+    @property
+    def count(self) -> int:
+        """Ops appended so far (flushed segments plus the open buffer)."""
+        return self._count + len(self._kinds)
+
+    # ------------------------------------------------------------------
+    # flushing / closing
+    # ------------------------------------------------------------------
+
+    def _flush_segment(self) -> None:
+        kinds = self._kinds
+        if not kinds:
+            return
+        flags = self._flags
+        loads = kinds.count(KIND_LOAD)
+        stores = kinds.count(KIND_STORE)
+        sfences = kinds.count(KIND_SFENCE)
+        store_code = KIND_STORE
+        persistent_stores = sum(
+            1 for k, f in zip(kinds, flags) if k == store_code and f
+        )
+        gap_sum = sum(self._gaps)
+        offset = self._fh.tell()
+        columns: Tuple[array, ...] = (kinds, self._addrs, self._gaps, flags)
+        if _BIG_ENDIAN:
+            columns = tuple(MemoryTrace._swapped(col) for col in columns)
+        for col in columns:
+            self._fh.write(col.tobytes())
+        self._entries.append(
+            (offset, len(kinds), loads, stores, persistent_stores, sfences, gap_sum)
+        )
+        self._count += len(kinds)
+        self._reset_buffers()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._flush_segment()
+        index_offset = self._fh.tell()
+        pack = _SEGMENT_ENTRY.pack
+        for entry in self._entries:
+            self._fh.write(pack(*entry))
+        self._fh.seek(0)
+        self._fh.write(
+            _HEADER_V2.pack(
+                TRACE_MAGIC,
+                TRACE_FORMAT_VERSION_V2,
+                0,
+                len(self._name_bytes),
+                self._count,
+                self.segment_ops,
+                len(self._entries),
+                index_offset,
+            )
+        )
+        self._fh.seek(0, 2)
+        if self._owns_fh:
+            self._fh.close()
+        self._closed = True
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TraceReader:
+    """Bounded-memory reader over the binary trace formats.
+
+    Parses the header (and, for v2, the segment index) eagerly with the
+    full hardening of :meth:`MemoryTrace.from_bytes`; the column data is
+    only touched by :meth:`chunks`, one segment at a time.  v1 traces
+    are chunked too (via per-column seeks), so every consumer can treat
+    both versions uniformly.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._label = str(path)
+        self._fh = open(path, "rb")
+        try:
+            self._parse()
+        except BaseException:
+            self._fh.close()
+            raise
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "TraceReader":
+        """A reader over an in-memory serialized trace (tests, caches)."""
+        import io
+
+        reader = cls.__new__(cls)
+        reader._label = "<bytes>"
+        reader._fh = io.BytesIO(blob)
+        try:
+            reader._parse()
+        except BaseException:
+            reader._fh.close()
+            raise
+        return reader
+
+    # ------------------------------------------------------------------
+    # header / index parsing
+    # ------------------------------------------------------------------
+
+    def _fail(self, detail: str) -> None:
+        raise TraceFormatError(f"binary trace {self._label}: {detail}")
+
+    def _read_exact(self, size: int, what: str) -> bytes:
+        data = self._fh.read(size)
+        if len(data) != size:
+            self._fail(f"truncated reading {what}")
+        return data
+
+    def _parse(self) -> None:
+        fh = self._fh
+        fh.seek(0, 2)
+        self._size = fh.tell()
+        fh.seek(0)
+        if self._size < _HEADER.size:
+            self._fail(f"too short: {self._size} bytes < {_HEADER.size}-byte header")
+        magic, version, _reserved, name_len, count = _HEADER.unpack(
+            self._read_exact(_HEADER.size, "the header")
+        )
+        if magic != TRACE_MAGIC:
+            self._fail(f"bad magic {magic!r} (expected {TRACE_MAGIC!r})")
+        if version not in (TRACE_FORMAT_VERSION, TRACE_FORMAT_VERSION_V2):
+            self._fail(f"unsupported trace format version {version}")
+        self.version = version
+        self.record_count = count
+        if version == TRACE_FORMAT_VERSION_V2:
+            tail = struct.Struct("<IIQ")
+            segment_ops, num_segments, index_offset = tail.unpack(
+                self._read_exact(tail.size, "the v2 header")
+            )
+            if segment_ops < 1:
+                self._fail(f"segment size {segment_ops} is not positive")
+            self.segment_ops = segment_ops
+            self._num_segments = num_segments
+            self._index_offset = index_offset
+        else:
+            self.segment_ops = DEFAULT_SEGMENT_OPS
+            self._num_segments = 0
+            self._index_offset = 0
+        name_bytes = fh.read(name_len)
+        if len(name_bytes) < name_len:
+            self._fail(
+                f"truncated inside the name: header promises {name_len} "
+                f"name bytes, payload has {len(name_bytes)}"
+            )
+        try:
+            self.name = name_bytes.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(
+                f"binary trace {self._label}: name is not UTF-8: {exc}"
+            ) from None
+        self._data_start = fh.tell()
+        if version == TRACE_FORMAT_VERSION_V2:
+            self._parse_index()
+            self.segments: Optional[List[TraceSegment]] = self._segments
+        else:
+            expected = self._data_start + _ROW_BYTES * count
+            if self._size != expected:
+                self._fail(f"payload is {self._size} bytes; header implies {expected}")
+            self._segments = None
+            self.segments = None
+
+    def _parse_index(self) -> None:
+        entry = _SEGMENT_ENTRY
+        index_offset = self._index_offset
+        num_segments = self._num_segments
+        expected = index_offset + num_segments * entry.size
+        if index_offset < self._data_start:
+            self._fail(
+                f"corrupt index: index offset {index_offset} overlaps the "
+                f"header/name (data starts at {self._data_start})"
+            )
+        if self._size != expected:
+            self._fail(
+                f"corrupt index: payload is {self._size} bytes; header "
+                f"implies {expected} ({num_segments} segments indexed at {index_offset})"
+            )
+        self._fh.seek(index_offset)
+        raw = self._read_exact(num_segments * entry.size, "the segment index")
+        segments: List[TraceSegment] = []
+        cursor = self._data_start
+        total = 0
+        for i in range(num_segments):
+            fields = entry.unpack_from(raw, i * entry.size)
+            seg = TraceSegment(*fields)
+            if seg.offset != cursor:
+                self._fail(
+                    f"corrupt index: segment {i} starts at byte {seg.offset}, "
+                    f"expected {cursor}"
+                )
+            if seg.count < 1:
+                self._fail(f"corrupt index: segment {i} is empty")
+            if seg.loads + seg.stores + seg.sfences != seg.count:
+                self._fail(
+                    f"corrupt index: segment {i} op-kind counts "
+                    f"({seg.loads}+{seg.stores}+{seg.sfences}) disagree with "
+                    f"its op count {seg.count}"
+                )
+            if seg.persistent_stores > seg.stores:
+                self._fail(
+                    f"corrupt index: segment {i} claims more persistent "
+                    f"stores ({seg.persistent_stores}) than stores ({seg.stores})"
+                )
+            cursor = seg.offset + seg.count * _ROW_BYTES
+            total += seg.count
+            segments.append(seg)
+        if cursor != self._index_offset:
+            self._fail(
+                f"mid-column cut: segment data ends at byte {cursor} but the "
+                f"index starts at {self._index_offset}"
+            )
+        if total != self.record_count:
+            self._fail(
+                f"corrupt index: segments hold {total} ops, header promises "
+                f"{self.record_count}"
+            )
+        self._segments = segments
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.record_count
+
+    def summary(self) -> TraceSummary:
+        """Whole-trace statistics.
+
+        O(header + index) for v2; a bounded-memory single pass for v1.
+        """
+        if self.version == TRACE_FORMAT_VERSION_V2:
+            segs = self._segments or []
+            return TraceSummary(
+                self.name,
+                self.version,
+                self.record_count,
+                self.segment_ops,
+                len(segs),
+                sum(s.loads for s in segs),
+                sum(s.stores for s in segs),
+                sum(s.persistent_stores for s in segs),
+                sum(s.sfences for s in segs),
+                sum(s.gap_sum for s in segs),
+            )
+        loads = stores = persistent_stores = sfences = gap_sum = 0
+        store_code = KIND_STORE
+        for chunk in self.chunks():
+            kinds = chunk.kind_codes
+            loads += kinds.count(KIND_LOAD)
+            stores += kinds.count(store_code)
+            sfences += kinds.count(KIND_SFENCE)
+            persistent_stores += sum(
+                1 for k, f in zip(kinds, chunk.persistent_flags) if k == store_code and f
+            )
+            gap_sum += sum(chunk.gaps)
+        return TraceSummary(
+            self.name,
+            self.version,
+            self.record_count,
+            self.segment_ops,
+            0,
+            loads,
+            stores,
+            persistent_stores,
+            sfences,
+            gap_sum,
+        )
+
+    def chunks(self, start: int = 0, stop: Optional[int] = None) -> Iterator[TraceChunk]:
+        """Yield packed column chunks covering ops ``[start, stop)``.
+
+        At most one segment's columns are resident at a time.
+        """
+        total = self.record_count
+        if stop is None:
+            stop = total
+        if not 0 <= start <= stop <= total:
+            raise ValueError(
+                f"chunk range [{start}, {stop}) out of bounds for {total} ops"
+            )
+        if start == stop:
+            return
+        if self.version == TRACE_FORMAT_VERSION_V2:
+            yield from self._chunks_v2(start, stop)
+        else:
+            yield from self._chunks_v1(start, stop)
+
+    def _read_columns(
+        self, offsets: Tuple[int, int, int, int], count: int
+    ) -> Tuple[array, array, array, array]:
+        fh = self._fh
+        columns = (array("B"), array("Q"), array("I"), array("B"))
+        for col, offset in zip(columns, offsets):
+            fh.seek(offset)
+            col.frombytes(self._read_exact(col.itemsize * count, "column data"))
+        if _BIG_ENDIAN:
+            for col in columns:
+                col.byteswap()
+        return columns
+
+    def _chunks_v2(self, start: int, stop: int) -> Iterator[TraceChunk]:
+        base = 0
+        for seg in self._segments or []:
+            seg_start, seg_stop = base, base + seg.count
+            base = seg_stop
+            if seg_stop <= start:
+                continue
+            if seg_start >= stop:
+                break
+            # Column offsets within the segment payload.
+            off = seg.offset
+            offsets = (
+                off,
+                off + seg.count,
+                off + seg.count * 9,
+                off + seg.count * 13,
+            )
+            lo = max(start, seg_start) - seg_start
+            hi = min(stop, seg_stop) - seg_start
+            if lo == 0 and hi == seg.count:
+                kinds, addrs, gaps, flags = self._read_columns(offsets, seg.count)
+            else:
+                # Partial overlap: shift each column offset to the
+                # requested sub-range, read only hi - lo items.
+                offsets = (
+                    offsets[0] + lo,
+                    offsets[1] + lo * 8,
+                    offsets[2] + lo * 4,
+                    offsets[3] + lo,
+                )
+                kinds, addrs, gaps, flags = self._read_columns(offsets, hi - lo)
+            yield TraceChunk(seg_start + lo, kinds, addrs, gaps, flags)
+
+    def _chunks_v1(self, start: int, stop: int) -> Iterator[TraceChunk]:
+        count = self.record_count
+        kind_base = self._data_start
+        addr_base = kind_base + count
+        gap_base = addr_base + count * 8
+        flag_base = gap_base + count * 4
+        step = self.segment_ops
+        for lo in range(start, stop, step):
+            hi = min(lo + step, stop)
+            n = hi - lo
+            offsets = (
+                kind_base + lo,
+                addr_base + lo * 8,
+                gap_base + lo * 4,
+                flag_base + lo,
+            )
+            kinds, addrs, gaps, flags = self._read_columns(offsets, n)
+            yield TraceChunk(lo, kinds, addrs, gaps, flags)
+
+    def read_all(self) -> MemoryTrace:
+        """Materialize the whole trace (the ``load_binary`` v2 path)."""
+        trace = MemoryTrace(name=self.name)
+        for chunk in self.chunks():
+            trace.kind_codes.extend(chunk.kind_codes)
+            trace.addresses.extend(chunk.addresses)
+            trace.gaps.extend(chunk.gaps)
+            trace.persistent_flags.extend(chunk.persistent_flags)
+        return trace
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

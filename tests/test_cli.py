@@ -195,3 +195,101 @@ def test_crash_campaign_filtered_schemes_skips_tables(capsys):
     assert code == 0
     assert "Table I" not in out  # unordered cells absent: tables skipped
     assert "verify: zero silent corruptions" in out
+
+
+def test_trace_inspect_is_header_only(capsys, tmp_path):
+    path = tmp_path / "t.plptrace"
+    code, out, _ = run_cli(
+        capsys,
+        "trace",
+        "--stream",
+        "lca_pingpong",
+        "--ops",
+        "3000",
+        "--segment-ops",
+        "512",
+        "--out",
+        str(path),
+    )
+    assert code == 0
+    assert "v2 chunked" in out
+
+    code, out, _ = run_cli(capsys, "trace", "--inspect", str(path))
+    assert code == 0
+    assert "lca_pingpong" in out
+    assert "3,000" in out  # store count
+    assert "format version" in out and "2" in out
+
+    # O(1): the inspect path must not read the columns — corrupt one
+    # byte of column data and the summary must be unchanged.
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    code, out2, _ = run_cli(capsys, "trace", "--inspect", str(path))
+    assert code == 0
+    assert out2 == out
+
+
+def test_trace_inspect_missing_file_fails(capsys):
+    code, _, err = run_cli(capsys, "trace", "--inspect", "/no/such/file.plptrace")
+    assert code == 1
+    assert "cannot inspect" in err
+
+
+def test_trace_stream_requires_out(capsys):
+    code, _, err = run_cli(capsys, "trace", "--stream", "synthetic")
+    assert code == 2
+    assert "--out" in err
+
+
+def test_trace_without_benchmark_or_mode_fails(capsys):
+    code, _, err = run_cli(capsys, "trace")
+    assert code == 2
+    assert "benchmark required" in err
+
+
+def test_trace_stream_multi_tenant_roundtrip(capsys, tmp_path):
+    from repro.workloads.trace import TraceReader
+
+    path = tmp_path / "mt.plptrace"
+    code, out, _ = run_cli(
+        capsys,
+        "trace",
+        "--stream",
+        "multi_tenant",
+        "--ops",
+        "2000",
+        "--clients",
+        "2",
+        "--out",
+        str(path),
+    )
+    assert code == 0
+    with TraceReader(path) as reader:
+        summary = reader.summary()
+    assert summary.name == "multi_tenant"
+    assert summary.record_count == 2000
+
+
+def test_sweep_shards_matches_unsharded(capsys):
+    argv = [
+        "sweep",
+        "--benchmark",
+        "gamess",
+        "--scheme",
+        "o3",
+        "--param",
+        "epoch_size",
+        "--values",
+        "16,64",
+        "--ki",
+        "5",
+    ]
+    code, plain, _ = run_cli(capsys, *argv, "--no-cache")
+    assert code == 0
+    code, sharded, _ = run_cli(capsys, *argv, "--shards", "3")
+    assert code == 0
+    # Identical tables: the sharded merge is bit-identical per point.
+    table = lambda text: [l for l in text.splitlines() if "x" in l and "|" not in l]
+    assert table(plain)[:-1] == table(sharded)[:-1]
+    assert "3 shards" in sharded

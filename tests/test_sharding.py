@@ -1,0 +1,216 @@
+"""Epoch-safe sharding: split planning, state handoff, mergeable stats.
+
+The differential contract under test: for every scheme,
+``run_sharded(source, config, shards)`` — the trace split at
+epoch-drain boundaries, the functional chain replayed in pool workers,
+and the per-shard partials merged — is *bit-identical* to the direct
+single-process run, for both in-memory and on-disk chunked sources.
+``run_sharded`` itself asserts merged == direct internally; these tests
+additionally pin the merged result against an independent
+``TraceSimulator.run`` and exercise the partial-result algebra.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import UpdateScheme
+from repro.system.config import SystemConfig
+from repro.system.timing import TraceSimulator, merge_results
+from repro.sweep.shard import plan_shards, run_sharded
+from repro.workloads.spec_profiles import profile_trace
+from repro.workloads.synthetic import kvstore_trace
+from repro.workloads.trace import KIND_SFENCE, KIND_STORE
+
+pytestmark = pytest.mark.sharding
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return profile_trace("gcc", 10)
+
+
+def reference(trace, scheme, **overrides):
+    config = SystemConfig(scheme=scheme, **overrides)
+    return config, TraceSimulator(config).run(trace, 0.2)
+
+
+# ----------------------------------------------------------------------
+# differential: sharded == unsharded
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("scheme", list(UpdateScheme))
+def test_sharded_matches_unsharded(trace, scheme):
+    config, ref = reference(trace, scheme)
+    assert run_sharded(trace, config, shards=4) == ref
+
+
+def test_sharded_from_v2_file(trace, tmp_path):
+    path = tmp_path / "t.plptrace"
+    trace.save_binary(path, version=2, segment_ops=700)
+    for scheme in (UpdateScheme.SP, UpdateScheme.O3):
+        config, ref = reference(trace, scheme)
+        assert run_sharded(str(path), config, shards=5) == ref
+
+
+def test_sharded_single_shard_falls_back(trace):
+    config, ref = reference(trace, UpdateScheme.SP)
+    assert run_sharded(trace, config, shards=1) == ref
+
+
+def test_sharded_forces_batched_engine(trace):
+    config = SystemConfig(scheme=UpdateScheme.SP, engine="skip_ahead")
+    ref = TraceSimulator(config).run(trace, 0.2)
+    assert run_sharded(trace, config, shards=4) == ref
+
+
+def test_sharded_explicit_splits(trace):
+    config, ref = reference(trace, UpdateScheme.SP)
+    n = len(trace)
+    splits = [n // 7, n // 3, n // 2, (5 * n) // 6]
+    partials, merged = run_sharded(
+        trace, config, shards=0, splits=splits, return_partials=True
+    )
+    assert merged == ref
+    assert len(partials) == len(splits) + 1
+
+
+def test_sharded_rejects_out_of_range_splits(trace):
+    config = SystemConfig(scheme=UpdateScheme.SP)
+    with pytest.raises(ValueError, match="splits"):
+        run_sharded(trace, config, shards=0, splits=[0, 10])
+    with pytest.raises(ValueError, match="splits"):
+        run_sharded(trace, config, shards=0, splits=[len(trace)])
+
+
+# ----------------------------------------------------------------------
+# partial-result algebra
+# ----------------------------------------------------------------------
+
+
+def test_partials_merge_to_reference(trace):
+    config, ref = reference(trace, UpdateScheme.COALESCING)
+    partials, merged = run_sharded(trace, config, shards=4, return_partials=True)
+    assert merged == ref
+    assert merge_results(partials) == ref
+    assert sum(p.instructions for p in partials) == ref.instructions
+    assert sum(p.cycles for p in partials) == ref.cycles
+    assert sum(p.persists for p in partials) == ref.persists
+    for key, value in ref.stats.items():
+        assert sum(p.stats.get(key, 0) for p in partials) == pytest.approx(value)
+
+
+def test_merge_results_validates_inputs(trace):
+    config, _ = reference(trace, UpdateScheme.SP)
+    partials, _ = run_sharded(trace, config, shards=3, return_partials=True)
+    with pytest.raises(ValueError):
+        merge_results([])
+    other = partials[0].__class__(
+        scheme="o3",
+        trace_name=partials[0].trace_name,
+        cycles=1,
+        instructions=1,
+        persists=0,
+        node_updates=0,
+        bmt_cache_misses=0,
+        stats={},
+    )
+    with pytest.raises(ValueError):
+        merge_results([partials[0], other])
+
+
+# ----------------------------------------------------------------------
+# split planning
+# ----------------------------------------------------------------------
+
+
+def _entering_epoch_count(trace, config, position):
+    """Independent recomputation of the epoch store count entering ``position``."""
+    kinds = np.frombuffer(memoryview(trace.kind_codes), dtype=np.uint8)
+    flags = np.frombuffer(memoryview(trace.persistent_flags), dtype=np.uint8)
+    count = 0
+    esize = config.epoch_size
+    for i in range(position):
+        if kinds[i] == KIND_SFENCE:
+            count = 0
+        elif kinds[i] == KIND_STORE and (config.protect_stack or flags[i]):
+            count += 1
+            if count >= esize:
+                count = 0
+    return count
+
+
+@pytest.mark.parametrize("scheme", [UpdateScheme.O3, UpdateScheme.COALESCING])
+def test_plan_shards_lands_on_epoch_drains(trace, scheme):
+    config = SystemConfig(scheme=scheme)
+    splits = plan_shards(trace, 6, config)
+    assert splits == sorted(set(splits))
+    assert all(0 < s < len(trace) for s in splits)
+    for split in splits:
+        assert _entering_epoch_count(trace, config, split) == 0
+
+
+def test_plan_shards_non_epoch_uses_even_targets(trace):
+    config = SystemConfig(scheme=UpdateScheme.SP)
+    n = len(trace)
+    assert plan_shards(trace, 4, config) == [n // 4, n // 2, (3 * n) // 4]
+
+
+def test_plan_shards_degenerate_cases(trace):
+    config = SystemConfig(scheme=UpdateScheme.SP)
+    assert plan_shards(trace, 1, config) == []
+    with pytest.raises(ValueError):
+        plan_shards(trace, 0, config)
+
+
+# ----------------------------------------------------------------------
+# property: any epoch-boundary split set merges exactly
+# ----------------------------------------------------------------------
+
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+_PROP_TRACE = kvstore_trace(150, num_keys=64, seed=41)
+_PROP_N = len(_PROP_TRACE)
+_PROP_DRAINS = sorted(
+    i + 1
+    for i in range(_PROP_N - 1)
+    if _PROP_TRACE.kind_codes[i] == KIND_SFENCE
+)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(splits=st.lists(st.integers(1, _PROP_N - 1), max_size=6, unique=True))
+def test_any_split_set_merges_exactly_without_epochs(splits):
+    """Non-epoch schemes: every cut is a valid shard boundary."""
+    config = SystemConfig(scheme=UpdateScheme.SP)
+    ref = TraceSimulator(config).run(_PROP_TRACE, 0.2)
+    assert run_sharded(_PROP_TRACE, config, shards=0, splits=splits) == ref
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    picks=st.lists(
+        st.sampled_from(_PROP_DRAINS) if _PROP_DRAINS else st.nothing(),
+        max_size=5,
+        unique=True,
+    )
+)
+def test_epoch_drain_splits_merge_exactly(picks):
+    """Epoch schemes: every sfence-drain split set merges to the direct run."""
+    config = SystemConfig(scheme=UpdateScheme.O3)
+    ref = TraceSimulator(config).run(_PROP_TRACE, 0.2)
+    partials, merged = run_sharded(
+        _PROP_TRACE, config, shards=0, splits=picks, return_partials=True
+    )
+    assert merged == ref
+    assert merge_results(partials) == ref

@@ -6,16 +6,23 @@ from repro.persistency.epochs import EpochTracker
 from repro.workloads.synthetic import (
     SyntheticSpec,
     calibrate_pool,
+    emit_ops,
     expected_uniques,
     generate_trace,
     kvstore_trace,
+    lca_pingpong,
+    lca_pingpong_ops,
+    multi_tenant,
+    multi_tenant_ops,
     pointer_chase,
     sequential_stream,
+    stream_trace,
     strided_stream,
+    synthetic_ops,
     uniform_random,
     zipfian,
 )
-from repro.workloads.trace import OpKind
+from repro.workloads.trace import MemoryTrace, OpKind
 
 
 def test_generate_trace_is_deterministic():
@@ -128,3 +135,125 @@ def test_kvstore_get_only_has_no_stores():
     trace = kvstore_trace(100, put_fraction=0.0, seed=4)
     assert trace.count(OpKind.STORE) == 0
     assert trace.count(OpKind.LOAD) == 100
+
+
+# ----------------------------------------------------------------------
+# adversarial generators + streaming emission
+# ----------------------------------------------------------------------
+
+
+def _column_digest(trace):
+    import hashlib
+
+    h = hashlib.sha256()
+    for column in (
+        trace.kind_codes,
+        trace.addresses,
+        trace.gaps,
+        trace.persistent_flags,
+    ):
+        h.update(bytes(memoryview(column)))
+    return h.hexdigest()
+
+
+def test_lca_pingpong_is_seed_deterministic():
+    assert _column_digest(lca_pingpong(2000)) == _column_digest(lca_pingpong(2000))
+    assert _column_digest(lca_pingpong(2000, seed=7)) != _column_digest(
+        lca_pingpong(2000)
+    )
+
+
+def test_lca_pingpong_alternates_across_the_separation():
+    separation = 1 << 20
+    trace = lca_pingpong(
+        400, separation_blocks=separation, pairs=3, sfence_every=0
+    )
+    blocks = [r.block for r in trace.records]
+    # Consecutive stores always sit on opposite sides of the separation
+    # span, so their BMT lowest common ancestor is maximally shallow.
+    for even, odd in zip(blocks[0::2], blocks[1::2]):
+        assert odd - even == separation or even - odd == separation
+    assert trace.count(OpKind.STORE, persistent_only=True) == 400
+
+
+def test_lca_pingpong_sfence_cadence():
+    trace = lca_pingpong(320, sfence_every=64)
+    assert trace.count(OpKind.SFENCE) == 320 // 64
+    assert trace.count(OpKind.STORE) == 320
+
+
+def test_lca_pingpong_rejects_bad_params():
+    with pytest.raises(ValueError):
+        list(lca_pingpong_ops(-1))
+    with pytest.raises(ValueError):
+        list(lca_pingpong_ops(10, separation_blocks=8))
+
+
+def test_multi_tenant_is_seed_deterministic():
+    kwargs = dict(clients=3, ops_per_client=2000)
+    assert _column_digest(multi_tenant(**kwargs)) == _column_digest(
+        multi_tenant(**kwargs)
+    )
+    assert _column_digest(multi_tenant(seed=9, **kwargs)) != _column_digest(
+        multi_tenant(**kwargs)
+    )
+
+
+def test_multi_tenant_regions_are_disjoint():
+    stride = 1 << 22
+    trace = multi_tenant(
+        clients=4, ops_per_client=1500, tenant_stride_blocks=stride
+    )
+    from repro.workloads.synthetic import BLOCK, HEAP_BASE
+
+    tenants = set()
+    for record in trace.records:
+        tenants.add((record.address - HEAP_BASE) // (stride * BLOCK))
+    assert tenants == {0, 1, 2, 3}
+    assert len(trace) == 4 * 1500
+
+
+def test_multi_tenant_adding_a_tenant_preserves_existing_streams():
+    """Per-tenant sub-seeded RNGs: tenant c's addresses do not depend on
+    how many tenants run beside it."""
+
+    def addresses_of(clients):
+        per_tenant = {}
+        stride = 1 << 22
+        from repro.workloads.synthetic import BLOCK, HEAP_BASE
+
+        trace = multi_tenant(
+            clients=clients, ops_per_client=800, tenant_stride_blocks=stride, seed=5
+        )
+        for record in trace.records:
+            tenant = (record.address - HEAP_BASE) // (stride * BLOCK)
+            per_tenant.setdefault(tenant, []).append(record.address)
+        return per_tenant
+
+    three = addresses_of(3)
+    four = addresses_of(4)
+    # The mixer interleave changes with the tenant count, but each
+    # tenant's own address sequence is a prefix-stable stream.
+    for tenant in range(3):
+        shorter, longer = sorted((three[tenant], four[tenant]), key=len)
+        assert longer[: len(shorter)] == shorter
+
+
+def test_synthetic_ops_streams_equal_materialized(tmp_path):
+    spec = SyntheticSpec(kilo_instructions=20, seed=31)
+    mem = emit_ops(MemoryTrace(name="s"), synthetic_ops(spec))
+    path = tmp_path / "s.plptrace"
+    count = stream_trace(path, synthetic_ops(spec), name="s", segment_ops=127)
+    loaded = MemoryTrace.load_binary(path)
+    assert count == len(mem) == len(loaded)
+    assert loaded == mem
+
+
+def test_synthetic_ops_matches_spec_rates():
+    spec = SyntheticSpec(kilo_instructions=50, seed=8)
+    trace = emit_ops(MemoryTrace(name="s"), synthetic_ops(spec))
+    assert trace.count(OpKind.STORE) == round(
+        spec.kilo_instructions * spec.stores_per_ki
+    )
+    assert trace.count(OpKind.LOAD) == round(spec.kilo_instructions * spec.loads_per_ki)
+    assert trace.instruction_count == spec.kilo_instructions * 1000
