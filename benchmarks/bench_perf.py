@@ -404,6 +404,61 @@ def run_stream_stage(quick: bool, jobs_flag: int) -> dict:
     return stage
 
 
+def run_recovery_stage(quick: bool) -> dict:
+    """Recovery-table smoke stage: the cross-paper scheme zoo.
+
+    Builds the recovery-latency vs runtime-overhead table over the
+    acceptance roster (PLP schemes + triad_nvm/phoenix/secpm_wt/anubis)
+    and runs a crash-campaign smoke over the zoo: every compliant or
+    documented-relaxation scheme must classify 100% recovered with zero
+    silent corruption, or the harness fails hard.
+    """
+    from repro.analysis.campaign import CampaignViolation, verify_campaign
+    from repro.analysis.recovery import RECOVERY_TABLE_SCHEMES, build_recovery_table
+    from repro.campaign.engine import run_scenario
+    from repro.campaign.grid import SINGLETON_SUBSETS, enumerate_grid
+    from repro.system.config import SystemConfig
+
+    start = time.perf_counter()
+    ki = 3 if quick else 10
+    table = build_recovery_table(
+        "gcc",
+        kilo_instructions=ki,
+        config=SystemConfig(memory_bytes=256 * 1024 * 1024),
+    )
+    rendered = table.render()
+    print(rendered)
+    for scheme in RECOVERY_TABLE_SCHEMES:
+        if scheme.value not in rendered:
+            _fail(f"recovery table is missing scheme {scheme.value!r}")
+
+    zoo = ("triad_nvm", "phoenix", "secpm_wt", "anubis")
+    scenarios = enumerate_grid(
+        schemes=zoo,
+        workloads=["overwrite", "ordered_pair"] if quick else None,
+        subsets=SINGLETON_SUBSETS if quick else None,
+    )
+    cells = [run_scenario(s) for s in scenarios]
+    try:
+        verify_campaign(cells, require_tables=False)
+    except CampaignViolation as exc:
+        _fail(f"zoo campaign smoke: {exc}")
+    recovered = sum(c.classification == "recovered" for c in cells)
+    if recovered != len(cells):
+        _fail(
+            f"zoo campaign smoke: {len(cells) - recovered} of {len(cells)} "
+            "cells did not recover"
+        )
+    return {
+        "name": "recovery_table",
+        "wall_seconds": round(time.perf_counter() - start, 6),
+        "table_schemes": [s.value for s in RECOVERY_TABLE_SCHEMES],
+        "campaign_schemes": list(zoo),
+        "campaign_cells": len(cells),
+        "campaign_recovered": recovered,
+    }
+
+
 def run_stage(name: str, jobs, workers: int, cache) -> dict:
     start = time.perf_counter()
     results, report = run_jobs(jobs, workers=workers, cache=cache)
@@ -496,6 +551,8 @@ def main(argv=None) -> int:
         # Streaming scale-out: bounded-RSS 10M-op streamed run plus the
         # epoch-drain sharded merge (its own trace, compared internally).
         stream_stage = run_stream_stage(args.quick, args.jobs)
+        # Cross-paper recovery table + zoo crash-campaign smoke.
+        recovery_stage = run_recovery_stage(args.quick)
 
     # Determinism: every stage must reproduce the sequential results
     # exactly — full SimResult equality, not just the headline counters.
@@ -568,6 +625,11 @@ def main(argv=None) -> int:
             "sharded_speedup_gated": stream_stage["sharded_speedup_gated"],
             "merged_identical": True,
         },
+        "recovery": {
+            "table_schemes": recovery_stage["table_schemes"],
+            "campaign_cells": recovery_stage["campaign_cells"],
+            "campaign_recovered": recovery_stage["campaign_recovered"],
+        },
         "stages": [],
     }
     for stage, _ in stages:
@@ -594,6 +656,13 @@ def main(argv=None) -> int:
         f"{stream_stage['records']:,} ops at {stream_stage['peak_rss_mb']:.0f} MB peak RSS  "
         f"sharded x{stream_stage['shards']} {stream_stage['sharded_speedup']}x"
         f"{' (gated)' if stream_stage['sharded_speedup_gated'] else ''}"
+    )
+    report["stages"].append(recovery_stage)
+    print(
+        f"  {recovery_stage['name']:12s} {recovery_stage['wall_seconds']:8.3f}s  "
+        f"{len(recovery_stage['table_schemes'])} schemes tabled, "
+        f"{recovery_stage['campaign_recovered']}/{recovery_stage['campaign_cells']} "
+        "zoo campaign cells recovered"
     )
 
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"

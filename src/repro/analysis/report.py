@@ -39,6 +39,15 @@ class Table:
             lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
         return "\n".join(lines)
 
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table (README/docs)."""
+        lines = [f"**{self.title}**", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join(" --- " for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
     def __str__(self) -> str:
         return self.render()
 

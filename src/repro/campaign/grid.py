@@ -92,10 +92,14 @@ CAMPAIGN_SCHEMES: Tuple[str, ...] = (
     "pipeline",
     "o3",
     "coalescing",
+    "triad_nvm",
+    "phoenix",
+    "secpm_wt",
+    "anubis",
 )
-"""Table IV schemes the campaign covers.  ``sgx_sp`` is excluded: its
-whole-path persistence requirement is not part of the functional NVM
-model (see ``UpdateScheme.persists_whole_path``)."""
+"""Table IV schemes plus the cross-paper zoo.  ``sgx_sp`` is excluded:
+its whole-path persistence requirement is not part of the functional
+NVM model (see ``UpdateScheme.persists_whole_path``)."""
 
 
 def payload(tag: int) -> bytes:
@@ -147,6 +151,11 @@ class SchemeSemantics:
             its whole tuple) persists only after every older persist's.
         coalesced: BMT updates coalesce at the LCA within an epoch; a
             leading persist's root ack is delegated to the trailing one.
+        rebuild_root: The scheme's documented Invariant-2 relaxation
+            (``triad_nvm``/``phoenix``): recovery does not trust the
+            on-chip root register's ordering but re-derives the root
+            from the persisted, MAC-protected metadata and adopts it
+            before verification.
     """
 
     scheme: UpdateScheme
@@ -155,11 +164,17 @@ class SchemeSemantics:
     atomic: bool
     ordered_root: bool
     coalesced: bool
+    rebuild_root: bool = False
 
     @property
     def compliant(self) -> bool:
         """2SP + ordered root updates: both paper invariants hold."""
         return self.persistent and self.atomic and self.ordered_root
+
+    @property
+    def relaxed(self) -> bool:
+        """Recovers via a documented relaxation instead of Invariant 2."""
+        return self.rebuild_root and self.persistent and self.atomic
 
 
 _SEMANTICS: Dict[UpdateScheme, SchemeSemantics] = {
@@ -182,6 +197,34 @@ _SEMANTICS: Dict[UpdateScheme, SchemeSemantics] = {
     ),
     UpdateScheme.COALESCING: SchemeSemantics(
         UpdateScheme.COALESCING, PersistencyModel.EPOCH, True, True, True, True
+    ),
+    # The zoo.  secpm_wt and anubis keep both invariants (write-through
+    # tuples, ordered root acks); triad_nvm and phoenix gather with 2SP
+    # locking but relax root ordering — recovery rebuilds the root from
+    # the persisted metadata instead (``rebuild_root``).
+    UpdateScheme.SECPM_WT: SchemeSemantics(
+        UpdateScheme.SECPM_WT, PersistencyModel.STRICT, True, True, True, False
+    ),
+    UpdateScheme.ANUBIS: SchemeSemantics(
+        UpdateScheme.ANUBIS, PersistencyModel.STRICT, True, True, True, False
+    ),
+    UpdateScheme.TRIAD_NVM: SchemeSemantics(
+        UpdateScheme.TRIAD_NVM,
+        PersistencyModel.STRICT,
+        True,
+        True,
+        False,
+        False,
+        rebuild_root=True,
+    ),
+    UpdateScheme.PHOENIX: SchemeSemantics(
+        UpdateScheme.PHOENIX,
+        PersistencyModel.STRICT,
+        True,
+        True,
+        False,
+        False,
+        rebuild_root=True,
     ),
 }
 
@@ -270,8 +313,11 @@ def enumerate_grid(
     return grid
 
 
-CAMPAIGN_FORMAT = 1
-"""Bump to invalidate cached campaign cells on semantic changes."""
+CAMPAIGN_FORMAT = 2
+"""Bump to invalidate cached campaign cells on semantic changes.
+
+v2: zoo schemes joined the grid and ``CampaignCell`` grew the
+``relaxed`` classification flag."""
 
 
 def scenario_key(scenario: Scenario, code: str) -> str:

@@ -424,7 +424,7 @@ def cmd_timeline(args: argparse.Namespace) -> int:
 
 def cmd_rebuild_time(args: argparse.Namespace) -> int:
     config = SystemConfig()
-    model = RecoveryTimeModel(config.geometry(), mac_latency=config.mac_latency)
+    model = RecoveryTimeModel.from_config(config)
     table = Table(
         f"Post-crash BMT rebuild ({config.memory_bytes // 2**30} GB memory, "
         f"{args.pages} touched pages)",
@@ -439,6 +439,25 @@ def cmd_rebuild_time(args: argparse.Namespace) -> int:
             f"{estimate.total_seconds() * 1000:.3f} ms",
         )
     print(table)
+    return 0
+
+
+def cmd_recovery_table(args: argparse.Namespace) -> int:
+    from repro.analysis.recovery import RECOVERY_TABLE_SCHEMES, build_recovery_table
+
+    if args.schemes:
+        schemes = [UpdateScheme.from_name(s) for s in args.schemes.split(",")]
+    else:
+        schemes = list(RECOVERY_TABLE_SCHEMES)
+    touched = range(args.touched_pages) if args.touched_pages else None
+    table = build_recovery_table(
+        args.benchmark,
+        schemes,
+        kilo_instructions=args.ki,
+        touched_pages=touched,
+        seed=args.seed,
+    )
+    print(table.to_markdown() if args.markdown else table)
     return 0
 
 
@@ -582,6 +601,30 @@ def build_parser() -> argparse.ArgumentParser:
     rebuild = sub.add_parser("rebuild-time", help="estimate post-crash BMT rebuild time")
     rebuild.add_argument("--pages", type=int, default=4096, help="touched pages")
     rebuild.set_defaults(func=cmd_rebuild_time)
+
+    recovery = sub.add_parser(
+        "recovery-table",
+        help="cross-paper recovery latency vs runtime overhead (scheme zoo)",
+    )
+    recovery.add_argument("--benchmark", default="gcc", help="Table V benchmark name")
+    recovery.add_argument(
+        "--schemes",
+        default=None,
+        help="comma-separated scheme list (default: PLP schemes + the zoo)",
+    )
+    recovery.add_argument("--ki", type=int, default=20, help="trace length in kilo-instructions")
+    recovery.add_argument("--seed", type=int, default=2020)
+    recovery.add_argument(
+        "--touched-pages",
+        type=int,
+        default=0,
+        help="persisted touched-page map size; whole-tree schemes then "
+        "recover 'touched' instead of 'full'",
+    )
+    recovery.add_argument(
+        "--markdown", action="store_true", help="emit GitHub-flavoured markdown"
+    )
+    recovery.set_defaults(func=cmd_recovery_table)
 
     figure = sub.add_parser("figure", help="render a paper figure as ASCII bars")
     figure.add_argument("name", choices=["fig8", "fig10"])

@@ -303,6 +303,132 @@ class SGXPathScoreboard(SequentialScoreboard):
         return self._record(persist_id, arrival, completion, len(path))
 
 
+class TriadNVMScoreboard(SequentialScoreboard):
+    """Scheme zoo: Triad-NVM (arXiv:1810.09438) selective persistence.
+
+    The lowest ``persist_levels`` nodes of the update path persist with
+    the store (serialized node persists, like the SGX tree but bounded);
+    the store is acknowledged as soon as that frontier is durable, while
+    the relaxed upper-tree walk continues in the background on the
+    single engine lane.  Recovery rebuilds only the relaxed levels.
+    """
+
+    def __init__(
+        self,
+        *args,
+        persist_levels: int = 2,
+        node_persist_cycles: int = 8,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if persist_levels <= 0:
+            raise ValueError("persist_levels must be positive")
+        self.persist_levels = persist_levels
+        self.node_persist_cycles = node_persist_cycles
+        self.path_persists = 0
+
+    def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
+        path = self.geometry.path_tuple(leaf_index)
+        costs = self._level_costs(path)
+        start = self._wait_until(arrival, self._engine_free)
+        persisted = min(self.persist_levels, len(path))
+        # Ack once the persisted frontier (leaf upward) is durable ...
+        completion = self._elapse(
+            start, sum(costs[:persisted]) + persisted * self.node_persist_cycles
+        )
+        # ... while the relaxed upper levels keep the engine busy.
+        self._engine_free = self._elapse(completion, sum(costs[persisted:]))
+        self.path_persists += persisted
+        self._emit_serial_spans(persist_id, start, costs)
+        return self._record(persist_id, arrival, completion, len(path))
+
+
+class PhoenixScoreboard(TriadNVMScoreboard):
+    """Scheme zoo: Phoenix (arXiv:1911.01922) persistently-secure tree.
+
+    Every counter (leaf) write persists through; the cached upper tree
+    is restored lazily after a crash, so the store acks after the leaf
+    update + its persist — Triad-NVM's recurrence with a one-level
+    persisted frontier.
+    """
+
+    def __init__(self, *args, node_persist_cycles: int = 8, **kwargs) -> None:
+        super().__init__(
+            *args,
+            persist_levels=1,
+            node_persist_cycles=node_persist_cycles,
+            **kwargs,
+        )
+
+
+class SecPMScoreboard(SequentialScoreboard):
+    """Scheme zoo: SecPM (arXiv:1901.00620) write-through counters.
+
+    The sequential walk of sp plus one serialized counter persist per
+    store (the write-through of the updated counter block into the
+    persistence domain); both invariants hold, so the store waits for
+    the root like sp does.
+    """
+
+    def __init__(self, *args, node_persist_cycles: int = 8, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.node_persist_cycles = node_persist_cycles
+        self.counter_persists = 0
+
+    def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
+        path = self.geometry.path_tuple(leaf_index)
+        costs = self._level_costs(path)
+        start = self._wait_until(arrival, self._engine_free)
+        completion = self._elapse(start, sum(costs) + self.node_persist_cycles)
+        self._engine_free = completion
+        self.counter_persists += 1
+        self._emit_serial_spans(persist_id, start, costs)
+        return self._record(persist_id, arrival, completion, len(path))
+
+
+class AnubisScoreboard(PipelineScoreboard):
+    """Scheme zoo: Anubis (arXiv:1912.04726) shadow-metadata tracking.
+
+    The pipelined recurrence of PLP 1, with every level update also
+    writing its shadow-table entry (``shadow_write_cycles`` folded into
+    the stage occupancy).  Shadow writes are what recovery replays, so
+    they are counted for the recovery model.
+    """
+
+    def __init__(self, *args, shadow_write_cycles: int = 4, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.shadow_write_cycles = shadow_write_cycles
+        self.shadow_writes = 0
+
+    def submit(self, persist_id: int, leaf_index: int, arrival: int) -> PersistTiming:
+        path = self.geometry.path_tuple(leaf_index)
+        # Copy, never mutate: _level_costs may hand out memoized lists
+        # (the batched engine's scripted walks are reused across runs).
+        shadow = self.shadow_write_cycles
+        costs = [cost + shadow for cost in self._level_costs(path)]
+        self.shadow_writes += len(path)
+        t = arrival
+        level_done = self._level_done
+        tel = self.telemetry
+        wait_until = self._wait_until
+        elapse = self._elapse
+        level = self.geometry.depth
+        for cost in costs:
+            start = wait_until(t, level_done[level])
+            t = elapse(start, cost)
+            level_done[level] = t
+            if tel is not None:
+                tel.emit(
+                    EventKind.BMT_LEVEL_SPAN,
+                    start,
+                    level_track(level),
+                    ident=persist_id,
+                    duration=cost,
+                )
+            level -= 1
+        return self._record(persist_id, arrival, t, len(path))
+
+
 class UnorderedScoreboard(ScoreboardBase):
     """Strawman: root ordering unenforced; stores never wait for the root."""
 
@@ -505,6 +631,7 @@ def make_scoreboard(
     wpq_ring: Optional[OccupancyRing] = None,
     telemetry: "Optional[Telemetry]" = None,
     engine: str = "skip_ahead",
+    triad_levels: int = 2,
 ) -> ScoreboardBase:
     """Build the scoreboard matching a scheme.
 
@@ -533,6 +660,8 @@ def make_scoreboard(
         return classes[scheme](
             *args, ett_capacity=ett_capacity, wpq_ring=wpq_ring
         )
+    if scheme is UpdateScheme.TRIAD_NVM:
+        return classes[scheme](*args, persist_levels=triad_levels)
     try:
         return classes[scheme](*args)
     except KeyError:
@@ -546,5 +675,9 @@ SCOREBOARDS: Dict[UpdateScheme, type] = {
     UpdateScheme.UNORDERED: UnorderedScoreboard,
     UpdateScheme.O3: OutOfOrderScoreboard,
     UpdateScheme.COALESCING: CoalescingScoreboard,
+    UpdateScheme.TRIAD_NVM: TriadNVMScoreboard,
+    UpdateScheme.PHOENIX: PhoenixScoreboard,
+    UpdateScheme.SECPM_WT: SecPMScoreboard,
+    UpdateScheme.ANUBIS: AnubisScoreboard,
 }
 """Skip-ahead scoreboard class per scheme (``secure_wb`` maps to SP)."""

@@ -23,11 +23,15 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.core.schedulers import (
+    AnubisScoreboard,
     CoalescingScoreboard,
     OutOfOrderScoreboard,
+    PhoenixScoreboard,
     PipelineScoreboard,
+    SecPMScoreboard,
     SequentialScoreboard,
     SGXPathScoreboard,
+    TriadNVMScoreboard,
     UnorderedScoreboard,
 )
 from repro.core.schemes import UpdateScheme
@@ -83,6 +87,22 @@ class SteppedCoalescingScoreboard(SteppedClockMixin, CoalescingScoreboard):
     """Per-cycle reference for OOO + LCA coalescing."""
 
 
+class SteppedTriadNVMScoreboard(SteppedClockMixin, TriadNVMScoreboard):
+    """Per-cycle reference for Triad-NVM selective persistence."""
+
+
+class SteppedPhoenixScoreboard(SteppedClockMixin, PhoenixScoreboard):
+    """Per-cycle reference for Phoenix persistent counter tree."""
+
+
+class SteppedSecPMScoreboard(SteppedClockMixin, SecPMScoreboard):
+    """Per-cycle reference for SecPM write-through counters."""
+
+
+class SteppedAnubisScoreboard(SteppedClockMixin, AnubisScoreboard):
+    """Per-cycle reference for Anubis shadow-metadata tracking."""
+
+
 STEPPED_SCOREBOARDS: Dict[UpdateScheme, type] = {
     UpdateScheme.SP: SteppedSequentialScoreboard,
     UpdateScheme.SGX_SP: SteppedSGXPathScoreboard,
@@ -90,5 +110,9 @@ STEPPED_SCOREBOARDS: Dict[UpdateScheme, type] = {
     UpdateScheme.UNORDERED: SteppedUnorderedScoreboard,
     UpdateScheme.O3: SteppedOutOfOrderScoreboard,
     UpdateScheme.COALESCING: SteppedCoalescingScoreboard,
+    UpdateScheme.TRIAD_NVM: SteppedTriadNVMScoreboard,
+    UpdateScheme.PHOENIX: SteppedPhoenixScoreboard,
+    UpdateScheme.SECPM_WT: SteppedSecPMScoreboard,
+    UpdateScheme.ANUBIS: SteppedAnubisScoreboard,
 }
 """Stepped reference class per scheme (``secure_wb`` maps to SP)."""

@@ -391,10 +391,17 @@ class CycleAccurateEngine:
         scheme = self.config.scheme
         if scheme is UpdateScheme.UNORDERED:
             return True
-        if scheme is UpdateScheme.SP:
+        if scheme in (
+            UpdateScheme.SP,
+            # The zoo's serial-walk schemes share sp's one-at-a-time
+            # engine discipline; their extra persists are timing-only.
+            UpdateScheme.TRIAD_NVM,
+            UpdateScheme.PHOENIX,
+            UpdateScheme.SECPM_WT,
+        ):
             head = self.ptt.head()
             return head is not None and head.persist_id == entry.persist_id
-        if scheme is UpdateScheme.PIPELINE:
+        if scheme in (UpdateScheme.PIPELINE, UpdateScheme.ANUBIS):
             if position == 0:
                 return True
             older = entries[position - 1]

@@ -15,17 +15,31 @@ This model estimates recovery time for two strategies:
   written (requires a persisted touched-page map, e.g. allocation
   bitmaps; sparse workloads recover much faster).
 
+On top of those, :meth:`RecoveryTimeModel.estimate_for_scheme` maps
+each :class:`~repro.core.schemes.UpdateScheme` to what its persisted
+metadata leaves to rebuild — the cross-paper recovery-latency axis the
+scheme zoo exists to compare (see PAPERS.md).
+
 Costs: one NVM block read per counter block fetched, one MAC-unit pass
 per recomputed node, with a configurable number of parallel MAC units.
+
+Touched *pages* are 4 KB regions of protected memory, not BMT leaves:
+one page covers ``leaves_per_page`` counter-block leaves (1 under the
+split counter organization, 8 under monolithic), so the model must
+expand pages to leaf labels before walking ancestor paths.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, Optional, Set
+from typing import TYPE_CHECKING, Iterable, Optional, Set
 
+from repro.core.schemes import UpdateScheme
 from repro.crypto.bmt import BMTGeometry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.system.config import SystemConfig
 
 STRATEGIES = ("full", "touched")
 
@@ -62,6 +76,7 @@ class RecoveryTimeModel:
         nvm_read_cycles: int = 240,
         read_bandwidth_cycles: int = 8,
         hash_units: int = 4,
+        leaves_per_page: int = 1,
     ) -> None:
         """Create a model.
 
@@ -72,18 +87,58 @@ class RecoveryTimeModel:
             read_bandwidth_cycles: Channel occupancy per block read
                 (streams of reads are bandwidth-bound, not latency-bound).
             hash_units: Parallel MAC units available to the rebuild.
+            leaves_per_page: Counter-block leaves covering one touched
+                page (``SystemConfig.leaves_per_page``: 1 split,
+                8 monolithic).
         """
         if hash_units <= 0:
             raise ValueError("hash_units must be positive")
+        if leaves_per_page <= 0:
+            raise ValueError("leaves_per_page must be positive")
         self.geometry = geometry
         self.mac_latency = mac_latency
         self.nvm_read_cycles = nvm_read_cycles
         self.read_bandwidth_cycles = read_bandwidth_cycles
         self.hash_units = hash_units
+        self.leaves_per_page = leaves_per_page
+
+    @classmethod
+    def from_config(cls, config: "SystemConfig", **overrides) -> "RecoveryTimeModel":
+        """Build a model matching a :class:`SystemConfig`.
+
+        Picks up the geometry, MAC latency, NVM read latency, and —
+        crucially — the counter organization's page→leaf fan-out, so
+        touched-page estimates count monolithic leaves correctly.
+        """
+        params = dict(
+            mac_latency=config.mac_latency,
+            nvm_read_cycles=config.nvm.read_latency,
+            leaves_per_page=config.leaves_per_page,
+        )
+        params.update(overrides)
+        return cls(config.geometry(), **params)
 
     # ------------------------------------------------------------------
     # node counting
     # ------------------------------------------------------------------
+
+    def touched_leaves(self, touched_pages: Iterable[int]) -> Set[int]:
+        """Expand touched page indices to BMT leaf indices.
+
+        A page covers ``leaves_per_page`` consecutive counter-block
+        leaves; under the split organization the mapping is identity,
+        under monolithic each page fans out to 8 leaves.  Pages beyond
+        the tree's coverage clamp to no leaves.
+        """
+        per = self.leaves_per_page
+        num_leaves = self.geometry.num_leaves
+        leaves: Set[int] = set()
+        for page in touched_pages:
+            base = page * per
+            for leaf in range(base, base + per):
+                if 0 <= leaf < num_leaves:
+                    leaves.add(leaf)
+        return leaves
 
     def full_rebuild_nodes(self) -> int:
         """Nodes recomputed by a whole-tree rebuild."""
@@ -95,11 +150,12 @@ class RecoveryTimeModel:
     def touched_rebuild_nodes(self, touched_pages: Iterable[int]) -> int:
         """Nodes recomputed when only touched subtrees are rebuilt.
 
-        Every touched leaf is rehashed, then each distinct ancestor once.
+        Every leaf of every touched page is rehashed, then each
+        distinct ancestor once.
         """
         labels: Set[int] = set()
-        for page in touched_pages:
-            labels.update(self.geometry.update_path(page))
+        for leaf in self.touched_leaves(touched_pages):
+            labels.update(self.geometry.update_path(leaf))
         return len(labels)
 
     # ------------------------------------------------------------------
@@ -128,9 +184,14 @@ class RecoveryTimeModel:
         else:
             if touched_pages is None:
                 raise ValueError("touched strategy requires touched_pages")
-            pages = set(touched_pages)
-            reads = len(pages)
-            nodes = self.touched_rebuild_nodes(pages)
+            leaves = self.touched_leaves(touched_pages)
+            reads = len(leaves)
+            nodes = self.touched_rebuild_nodes(touched_pages)
+        return self._estimate_from_counts(strategy, reads, nodes)
+
+    def _estimate_from_counts(
+        self, strategy: str, reads: int, nodes: int
+    ) -> RecoveryEstimate:
         read_cycles = self.nvm_read_cycles + reads * self.read_bandwidth_cycles
         hash_cycles = math.ceil(nodes / self.hash_units) * self.mac_latency
         return RecoveryEstimate(
@@ -141,8 +202,78 @@ class RecoveryTimeModel:
             hash_cycles=hash_cycles,
         )
 
+    def estimate_for_scheme(
+        self,
+        scheme: UpdateScheme,
+        touched_pages: Optional[Iterable[int]] = None,
+        triad_persist_levels: int = 2,
+        shadow_entries: int = 2048,
+    ) -> RecoveryEstimate:
+        """Estimate recovery latency under a scheme's persisted metadata.
+
+        What a crash leaves durable differs per design, and with it the
+        post-crash work:
+
+        * PLP schemes (``sp``/``pipeline``/``o3``/``coalescing``) and
+          ``secpm_wt``/``secure_wb``/``unordered`` persist counters but
+          no tree interior — recovery is the paper's whole-tree rebuild
+          (``touched`` when a touched-page map survives, else ``full``).
+        * ``triad_nvm`` persists the lowest N tree levels; only the
+          relaxed levels above the frontier are recomputed, and only
+          the frontier nodes (not the leaves) are re-read.
+        * ``phoenix`` restores lazily: upfront recovery verifies one
+          root path, the rest amortizes into execution.
+        * ``anubis`` replays the (cache-sized) shadow table: reads and
+          rehashes are bounded by ``shadow_entries``, not memory size.
+        * ``sgx_sp`` persisted every path node already — recovery reads
+          and checks the root block only.
+        """
+        geometry = self.geometry
+        if scheme is UpdateScheme.TRIAD_NVM:
+            if triad_persist_levels <= 0:
+                raise ValueError("triad_persist_levels must be positive")
+            persisted = min(triad_persist_levels, geometry.levels)
+            # Relaxed interior: every level above the persisted
+            # frontier, rebuilt from the frontier level's nodes.
+            frontier_level = geometry.levels - 1 - persisted
+            if frontier_level < 0:
+                return self._estimate_from_counts("triad_frontier", 1, 1)
+            reads = geometry.nodes_at_level(frontier_level + 1)
+            nodes = sum(
+                geometry.nodes_at_level(level)
+                for level in range(frontier_level + 1)
+            )
+            return self._estimate_from_counts("triad_frontier", reads, nodes)
+        if scheme is UpdateScheme.PHOENIX:
+            # Lazy restoration: upfront cost is one leaf-to-root path
+            # verification; subtree restores overlap execution.
+            depth = geometry.levels
+            return self._estimate_from_counts("lazy_path", depth, depth)
+        if scheme is UpdateScheme.ANUBIS:
+            if shadow_entries <= 0:
+                raise ValueError("shadow_entries must be positive")
+            # Shadow-table replay: bounded by the persisted shadow
+            # region (metadata-cache sized), one read + rehash per
+            # entry plus the ancestor paths of the replayed leaves.
+            entries = min(shadow_entries, geometry.num_leaves)
+            nodes = entries + geometry.levels - 1
+            return self._estimate_from_counts("shadow_replay", entries, nodes)
+        if scheme is UpdateScheme.SGX_SP:
+            # The whole path persisted with each store: recovery only
+            # validates the stored root.
+            return self._estimate_from_counts("root_check", 1, 1)
+        if touched_pages is not None:
+            return self.estimate("touched", touched_pages)
+        return self.estimate("full")
+
     def speedup_touched_vs_full(self, touched_pages: Iterable[int]) -> float:
-        """How much faster touched-only recovery is for a workload."""
+        """How much faster touched-only recovery is for a workload.
+
+        An empty touched set recovers "instantly" (nothing to rebuild
+        beyond the first read's latency), reported as the full/touched
+        ratio of total cycles — never a division by zero, since the
+        fixed ``nvm_read_cycles`` term keeps both totals positive.
+        """
         full = self.estimate("full")
         touched = self.estimate("touched", touched_pages)
         if touched.total_cycles == 0:

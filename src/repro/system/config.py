@@ -68,6 +68,10 @@ class SystemConfig:
     mac_latency: int = 40
     bmt_arity: int = 8
     bmt_min_levels: int = 9
+    triad_persist_levels: int = 2
+    """Tree levels (leaf upward) persisted per store by ``triad_nvm``
+    (Triad-NVM's N; the paper evaluates N = 1, 2, 4).  Higher N slows
+    every persist but shrinks the post-crash rebuild frontier."""
     counter_organization: str = "split"
     """``"split"`` (per-page major + 64 minor counters, 1.56 % storage
     overhead) or ``"monolithic"`` (64-bit per block, 12.5 % overhead,
@@ -109,6 +113,21 @@ class SystemConfig:
             )
         if self.mac_latency < 0:
             raise ValueError("mac_latency must be non-negative")
+        # Degenerate capacities used to slip through silently and blow
+        # up far from the constructor (epoch_size=0 reaches a
+        # mod-by-zero in sweep/shard.plan_shards and corrupts epoch
+        # accounting; wpq_entries=0 cannot admit any persist).
+        for name in (
+            "epoch_size",
+            "wpq_entries",
+            "ptt_entries",
+            "ett_entries",
+            "bmt_arity",
+            "triad_persist_levels",
+        ):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
         if self.memory_bytes % PAGE_BYTES:
             raise ValueError("memory size must be page aligned")
         if self.counter_organization not in ("split", "monolithic"):
@@ -128,6 +147,12 @@ class SystemConfig:
     def blocks_per_counter_block(self) -> int:
         """Data blocks covered by one 64 B counter block."""
         return 64 if self.counter_organization == "split" else 8
+
+    @property
+    def leaves_per_page(self) -> int:
+        """BMT leaves (counter blocks) covering one 4 KB page: 1 under
+        the split organization, 8 under monolithic."""
+        return (PAGE_BYTES // BLOCK_BYTES) // self.blocks_per_counter_block
 
     @property
     def counter_storage_overhead(self) -> float:

@@ -202,6 +202,7 @@ class TraceSimulator:
         "_wpq_stall",
         "_load_stall",
         "_flush_stall",
+        "_extra_persist_writes",
     )
 
     def __init__(self, config: SystemConfig) -> None:
@@ -260,7 +261,24 @@ class TraceSimulator:
             wpq_ring=self.wpq_ring if self.scheme.uses_epochs else None,
             telemetry=self.telemetry,
             engine=config.engine,
+            triad_levels=config.triad_persist_levels,
         )
+        # NVM writes issued per persist beyond the data/counter/MAC
+        # tuple: the tree nodes (or shadow entries) each zoo scheme
+        # pushes into the persistence domain.  sgx_sp writes its whole
+        # path; triad_nvm its lowest N levels; phoenix every counter
+        # leaf; anubis one shadow-table entry; all others none.
+        scheme = self.scheme
+        if scheme.persists_whole_path:
+            self._extra_persist_writes = self.geometry.levels - 1
+        elif scheme is UpdateScheme.TRIAD_NVM:
+            self._extra_persist_writes = min(
+                config.triad_persist_levels, self.geometry.levels
+            )
+        elif scheme in (UpdateScheme.PHOENIX, UpdateScheme.ANUBIS):
+            self._extra_persist_writes = 1
+        else:
+            self._extra_persist_writes = 0
         self.epochs = (
             EpochTracker(config.epoch_size) if self.scheme.uses_epochs else None
         )
@@ -602,10 +620,10 @@ class TraceSimulator:
             )
         # Tuple writes drain to NVM in the background (bandwidth).
         self._tuple_writes(block, arrival)
-        if self.scheme.persists_whole_path:
-            # SGX counter tree: every updated path node is written out.
-            for _ in range(self.geometry.levels - 1):
-                self.nvm.write(arrival)
+        # Extra per-persist metadata writes (SGX whole path, Triad-NVM
+        # persisted frontier, Phoenix leaf, Anubis shadow entry).
+        for _ in range(self._extra_persist_writes):
+            self.nvm.write(arrival)
 
 
     def _leaf_of(self, block: int) -> int:

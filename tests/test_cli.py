@@ -86,6 +86,32 @@ def test_rebuild_time(capsys):
     assert "full" in out and "touched" in out
 
 
+def test_recovery_table_covers_the_zoo(capsys):
+    code, out, _ = run_cli(capsys, "recovery-table", "--ki", "3")
+    assert code == 0
+    for scheme in (
+        "sp", "pipeline", "o3", "coalescing",
+        "triad_nvm", "phoenix", "secpm_wt", "anubis",
+    ):
+        assert scheme in out
+    assert "relaxed root order" in out
+    assert "invariants 1+2" in out
+
+
+def test_recovery_table_markdown_and_touched(capsys):
+    code, out, _ = run_cli(
+        capsys,
+        "recovery-table",
+        "--ki", "3",
+        "--schemes", "sp,anubis",
+        "--touched-pages", "64",
+        "--markdown",
+    )
+    assert code == 0
+    assert "| sp |" in out and "| anubis |" in out
+    assert "touched" in out
+
+
 def test_timeline_prints_occupancy_tables(capsys):
     code, out, _ = run_cli(capsys, "timeline", "gamess", "--ki", "3")
     assert code == 0

@@ -122,7 +122,17 @@ def test_cache_event_streams_identical(scheme):
 
 @pytest.mark.parametrize("engine", ["batched", "skip_ahead", "stepped"])
 @pytest.mark.parametrize(
-    "scheme", [UpdateScheme.SP, UpdateScheme.PIPELINE, UpdateScheme.O3]
+    "scheme",
+    [
+        UpdateScheme.SP,
+        UpdateScheme.PIPELINE,
+        UpdateScheme.O3,
+        UpdateScheme.TRIAD_NVM,
+        UpdateScheme.PHOENIX,
+        UpdateScheme.SECPM_WT,
+        UpdateScheme.ANUBIS,
+    ],
+    ids=lambda s: s.value,
 )
 def test_scoreboard_level_differential(scheme, engine):
     """Scoreboard timings agree across engines on random leaf streams.

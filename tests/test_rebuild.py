@@ -2,8 +2,10 @@
 
 import pytest
 
+from repro.core.schemes import UpdateScheme
 from repro.crypto.bmt import BMTGeometry
 from repro.recovery.rebuild import RecoveryEstimate, RecoveryTimeModel
+from repro.system.config import SystemConfig
 
 
 @pytest.fixture
@@ -82,3 +84,157 @@ def test_paper_scale_full_rebuild_is_tens_of_ms(paper_geometry):
     model = RecoveryTimeModel(paper_geometry)
     estimate = model.estimate("full")
     assert 0.005 < estimate.total_seconds() < 0.5
+
+
+# ----------------------------------------------------------------------
+# page -> leaf mapping (the touched-page index-space bugfix)
+# ----------------------------------------------------------------------
+
+
+def test_monolithic_pages_fan_out_to_eight_leaves(small_geometry):
+    """Regression: touched pages are 4 KB regions, not leaf labels.
+
+    Under the monolithic counter organization one page covers 8
+    counter-block leaves, so 2 touched pages must cost 16 reads — the
+    old model read `len(pages)` and walked `update_path(page)` in the
+    wrong index space, undercounting 8x.
+    """
+    model = RecoveryTimeModel(
+        small_geometry, mac_latency=10, nvm_read_cycles=100, leaves_per_page=8
+    )
+    estimate = model.estimate("touched", [0, 1])
+    assert estimate.counter_blocks_read == 16
+    assert model.touched_leaves([0, 1]) == set(range(16))
+    # 16 leaves under 2 distinct middle nodes plus the root.
+    assert estimate.nodes_recomputed == 16 + 2 + 1
+
+
+def test_split_pages_map_one_to_one(small_geometry):
+    model = RecoveryTimeModel(
+        small_geometry, mac_latency=10, nvm_read_cycles=100, leaves_per_page=1
+    )
+    estimate = model.estimate("touched", [0, 1])
+    assert estimate.counter_blocks_read == 2
+    assert estimate.nodes_recomputed == 4
+
+
+def test_touched_leaves_clamp_to_tree(small_geometry):
+    model = RecoveryTimeModel(small_geometry, leaves_per_page=8)
+    # Page 7 covers leaves 56..63; page 8 would start past the tree.
+    assert model.touched_leaves([7]) == set(range(56, 64))
+    assert model.touched_leaves([8]) == set()
+
+
+def test_invalid_leaves_per_page(small_geometry):
+    with pytest.raises(ValueError):
+        RecoveryTimeModel(small_geometry, leaves_per_page=0)
+
+
+def test_from_config_split_vs_monolithic():
+    split = RecoveryTimeModel.from_config(SystemConfig())
+    mono = RecoveryTimeModel.from_config(
+        SystemConfig(counter_organization="monolithic")
+    )
+    assert split.leaves_per_page == 1
+    assert mono.leaves_per_page == 8
+    pages = range(2)
+    assert (
+        mono.estimate("touched", pages).counter_blocks_read
+        == 8 * split.estimate("touched", pages).counter_blocks_read
+    )
+
+
+def test_from_config_picks_up_latencies():
+    config = SystemConfig()
+    model = RecoveryTimeModel.from_config(config)
+    assert model.mac_latency == config.mac_latency
+    assert model.nvm_read_cycles == config.nvm.read_latency
+    assert model.geometry is config.geometry()
+
+
+# ----------------------------------------------------------------------
+# golden values and edge cases
+# ----------------------------------------------------------------------
+
+
+def test_estimate_full_golden_values(model):
+    """Pin the full-rebuild arithmetic on the 64-leaf tree."""
+    estimate = model.estimate("full")
+    # reads = 64 leaves; read_cycles = 100 + 64 * 8 = 612.
+    assert estimate.read_cycles == 612
+    # hash_cycles = ceil(73 / 4 units) * 10 = 190.
+    assert estimate.hash_cycles == 190
+    # total = max + min // 8 = 612 + 23.
+    assert estimate.total_cycles == 635
+
+
+def test_estimate_touched_golden_values(model):
+    estimate = model.estimate("touched", [0, 63])
+    # 2 leaves read: 100 + 2 * 8 = 116; 5 nodes: ceil(5/4) * 10 = 20.
+    assert estimate.counter_blocks_read == 2
+    assert estimate.nodes_recomputed == 5
+    assert estimate.read_cycles == 116
+    assert estimate.hash_cycles == 20
+    assert estimate.total_cycles == 116 + 20 // 8
+
+
+def test_speedup_empty_touched_set(model):
+    """No touched pages: only the fixed read latency remains, so the
+    speedup is finite and equals full/fixed — never a ZeroDivisionError."""
+    speedup = model.speedup_touched_vs_full([])
+    full = model.estimate("full").total_cycles
+    empty = model.estimate("touched", []).total_cycles
+    assert empty > 0
+    assert speedup == pytest.approx(full / empty)
+
+
+def test_speedup_full_footprint_is_one(model):
+    assert model.speedup_touched_vs_full(range(64)) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# scheme-aware estimates (the zoo's recovery axis)
+# ----------------------------------------------------------------------
+
+
+def test_scheme_estimates_order_as_designed(small_geometry):
+    """The designs order exactly as their papers claim: whole-tree
+    rebuilders slowest, Triad-NVM bounded, Anubis cache-bounded,
+    Phoenix/SGX near-instant."""
+    model = RecoveryTimeModel(small_geometry, mac_latency=10, nvm_read_cycles=100)
+    full = model.estimate_for_scheme(UpdateScheme.SP)
+    triad = model.estimate_for_scheme(UpdateScheme.TRIAD_NVM)
+    anubis = model.estimate_for_scheme(UpdateScheme.ANUBIS, shadow_entries=16)
+    phoenix = model.estimate_for_scheme(UpdateScheme.PHOENIX)
+    sgx = model.estimate_for_scheme(UpdateScheme.SGX_SP)
+    assert full.total_cycles > triad.total_cycles
+    assert anubis.total_cycles < full.total_cycles
+    assert phoenix.total_cycles < triad.total_cycles
+    assert sgx.nodes_recomputed == 1
+
+
+def test_triad_frontier_shrinks_with_more_persisted_levels(small_geometry):
+    model = RecoveryTimeModel(small_geometry)
+    one = model.estimate_for_scheme(UpdateScheme.TRIAD_NVM, triad_persist_levels=1)
+    two = model.estimate_for_scheme(UpdateScheme.TRIAD_NVM, triad_persist_levels=2)
+    assert two.nodes_recomputed < one.nodes_recomputed
+    # Persisting every level leaves only the root check.
+    everything = model.estimate_for_scheme(
+        UpdateScheme.TRIAD_NVM, triad_persist_levels=small_geometry.levels
+    )
+    assert everything.nodes_recomputed == 1
+
+
+def test_whole_tree_schemes_use_touched_map_when_available(small_geometry):
+    model = RecoveryTimeModel(small_geometry)
+    touched = model.estimate_for_scheme(UpdateScheme.SP, touched_pages=[0])
+    assert touched.strategy == "touched"
+    assert touched.total_cycles < model.estimate_for_scheme(UpdateScheme.SP).total_cycles
+
+
+def test_scheme_estimates_validate_parameters(small_geometry):
+    model = RecoveryTimeModel(small_geometry)
+    with pytest.raises(ValueError):
+        model.estimate_for_scheme(UpdateScheme.TRIAD_NVM, triad_persist_levels=0)
+    with pytest.raises(ValueError):
+        model.estimate_for_scheme(UpdateScheme.ANUBIS, shadow_entries=0)

@@ -48,6 +48,41 @@ def test_config_validation():
         SystemConfig(memory_bytes=100)
 
 
+@pytest.mark.parametrize(
+    "field",
+    [
+        "epoch_size",
+        "wpq_entries",
+        "ptt_entries",
+        "ett_entries",
+        "bmt_arity",
+        "triad_persist_levels",
+    ],
+)
+@pytest.mark.parametrize("value", [0, -1])
+def test_config_rejects_degenerate_capacities(field, value):
+    """Regression: epoch_size=0 used to slip through and hit a
+    mod-by-zero deep in sweep/shard.plan_shards; wpq_entries=0 could
+    never admit a persist.  The constructor must reject them."""
+    with pytest.raises(ValueError, match=f"{field} must be positive"):
+        SystemConfig(**{field: value})
+
+
+def test_config_variant_revalidates():
+    """variant() re-runs __post_init__, so degenerate overrides are
+    rejected on the copy path too."""
+    cfg = SystemConfig()
+    with pytest.raises(ValueError, match="epoch_size must be positive"):
+        cfg.variant(epoch_size=0)
+    with pytest.raises(ValueError, match="wpq_entries must be positive"):
+        cfg.variant(wpq_entries=-4)
+
+
+def test_config_leaves_per_page_by_organization():
+    assert SystemConfig().leaves_per_page == 1
+    assert SystemConfig(counter_organization="monolithic").leaves_per_page == 8
+
+
 # ----------------------------------------------------------------------
 # scheme behaviour in the simulator
 # ----------------------------------------------------------------------
