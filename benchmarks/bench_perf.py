@@ -112,6 +112,11 @@ FLOORS = {
     # recorded).  Bit-identity of the merged result is asserted
     # unconditionally inside ``run_sharded`` itself.
     "sharded_speedup": 1.5,
+    # Crash-plan pruning: the app campaign's generator must skip at
+    # least half of the exhaustive ``1 + 16n`` crash space while the
+    # exhaustive cross-check still classifies every cell identically to
+    # its representative.  Measured ~94% on the atomic roster.
+    "app_prune_ratio": 0.5,
 }
 """Hard perf gates: the harness exits non-zero when any floor is missed."""
 
@@ -459,6 +464,71 @@ def run_recovery_stage(quick: bool) -> dict:
     }
 
 
+def run_app_campaign_stage(quick: bool) -> dict:
+    """App crash-plan stage: pruned campaign + exhaustive soundness gate.
+
+    Generates the pruned crash-plan set for scheme x idiom over the
+    ``smoke`` workload, runs every representative plan, and requires
+    (a) every compliant/relaxed cell to recover into a legal
+    pre-op/post-op frame (``verify_campaign`` raises otherwise), and
+    (b) the exhaustive cross-check to agree with the pruner cell for
+    cell while skipping at least ``FLOORS['app_prune_ratio']`` of the
+    exhaustive space.
+    """
+    from repro.analysis.campaign import CampaignViolation, verify_campaign
+    from repro.campaign.app_engine import APP_CAMPAIGN_SCHEMES, run_app_scenario
+    from repro.campaign.plans import crosscheck_pruning, generate_plans
+
+    start = time.perf_counter()
+    schemes = ("sp", "coalescing", "triad_nvm") if quick else APP_CAMPAIGN_SCHEMES
+    cells = []
+    plan_sets = []
+    checks = []
+    for scheme in schemes:
+        for idiom in ("snapshot", "undolog"):
+            plan_set = generate_plans(scheme, idiom, "smoke")
+            plan_sets.append(plan_set)
+            cells.extend(run_app_scenario(p.scenario) for p in plan_set.plans)
+            result = crosscheck_pruning(scheme, idiom, "smoke")
+            checks.append(result)
+            if not result["agree"]:
+                _fail(
+                    f"app campaign pruning is unsound for {scheme}/{idiom}: "
+                    f"{result['disagreements']}"
+                )
+            if result["prune_ratio"] < FLOORS["app_prune_ratio"]:
+                _fail(
+                    f"app campaign pruned only {result['prune_ratio']:.1%} of "
+                    f"{scheme}/{idiom}, below the "
+                    f"{FLOORS['app_prune_ratio']:.0%} floor"
+                )
+    try:
+        verify_campaign(cells, require_tables=False)
+    except CampaignViolation as exc:
+        _fail(f"app campaign smoke: {exc}")
+    consistent = sum(c.consistent_frame for c in cells)
+    if consistent != len(cells):
+        _fail(
+            f"app campaign smoke: {len(cells) - consistent} of {len(cells)} "
+            "cells left the legal pre-op/post-op frames"
+        )
+    exhaustive = sum(ps.exhaustive_cells for ps in plan_sets)
+    skipped = sum(ps.skipped_cells for ps in plan_sets)
+    return {
+        "name": "app_campaign",
+        "wall_seconds": round(time.perf_counter() - start, 6),
+        "schemes": list(schemes),
+        "idioms": ["snapshot", "undolog"],
+        "plans_run": len(cells),
+        "cells_consistent": consistent,
+        "exhaustive_cells": exhaustive,
+        "skipped_cells": skipped,
+        "prune_ratio": round(skipped / exhaustive, 4) if exhaustive else None,
+        "crosschecks_sound": all(c["agree"] for c in checks),
+        "missed_mismatches": sum(c["missed_mismatches"] for c in checks),
+    }
+
+
 def run_stage(name: str, jobs, workers: int, cache) -> dict:
     start = time.perf_counter()
     results, report = run_jobs(jobs, workers=workers, cache=cache)
@@ -553,6 +623,8 @@ def main(argv=None) -> int:
         stream_stage = run_stream_stage(args.quick, args.jobs)
         # Cross-paper recovery table + zoo crash-campaign smoke.
         recovery_stage = run_recovery_stage(args.quick)
+        # App crash-plan campaign: pruning soundness + differential gate.
+        app_stage = run_app_campaign_stage(args.quick)
 
     # Determinism: every stage must reproduce the sequential results
     # exactly — full SimResult equality, not just the headline counters.
@@ -630,6 +702,13 @@ def main(argv=None) -> int:
             "campaign_cells": recovery_stage["campaign_cells"],
             "campaign_recovered": recovery_stage["campaign_recovered"],
         },
+        "app_campaign": {
+            "schemes": app_stage["schemes"],
+            "plans_run": app_stage["plans_run"],
+            "prune_ratio": app_stage["prune_ratio"],
+            "crosschecks_sound": app_stage["crosschecks_sound"],
+            "missed_mismatches": app_stage["missed_mismatches"],
+        },
         "stages": [],
     }
     for stage, _ in stages:
@@ -663,6 +742,13 @@ def main(argv=None) -> int:
         f"{len(recovery_stage['table_schemes'])} schemes tabled, "
         f"{recovery_stage['campaign_recovered']}/{recovery_stage['campaign_cells']} "
         "zoo campaign cells recovered"
+    )
+    report["stages"].append(app_stage)
+    print(
+        f"  {app_stage['name']:12s} {app_stage['wall_seconds']:8.3f}s  "
+        f"{app_stage['plans_run']} plans for {app_stage['exhaustive_cells']} "
+        f"exhaustive cells ({app_stage['prune_ratio']:.1%} pruned, "
+        f"{app_stage['missed_mismatches']} missed mismatches)"
     )
 
     payload = json.dumps(report, indent=2, sort_keys=True) + "\n"

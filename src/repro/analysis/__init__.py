@@ -4,6 +4,7 @@ from repro.analysis.report import Table, format_series, normalized
 from repro.analysis.campaign import (
     CampaignViolation,
     summarize,
+    summarize_app,
     table1,
     table2,
     verify_campaign,
@@ -15,6 +16,7 @@ __all__ = [
     "format_series",
     "normalized",
     "summarize",
+    "summarize_app",
     "table1",
     "table2",
     "verify_campaign",

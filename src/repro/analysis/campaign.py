@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.report import Table
+from repro.campaign.app_engine import AppCampaignCell
 from repro.campaign.engine import (
     OUTCOME_INVARIANT_VIOLATION,
     OUTCOME_RECOVERED,
@@ -26,6 +27,7 @@ from repro.campaign.engine import (
     OUTCOMES,
     CampaignCell,
 )
+from repro.recovery.checker import APP_MISMATCH, APP_OUTCOMES
 
 TABLE1_SCHEME = "unordered"
 TABLE1_WORKLOAD = "overwrite"
@@ -109,6 +111,81 @@ def summarize(cells: Sequence[CampaignCell]) -> Table:
     return table
 
 
+def summarize_app(
+    cells: Sequence[AppCampaignCell],
+    plan_sets: Optional[Sequence] = None,
+) -> Table:
+    """(Scheme, idiom) x app-outcome matrix, with pruning accounting.
+
+    Args:
+        cells: Classified app-campaign cells.
+        plan_sets: The :class:`~repro.campaign.plans.PlanSet` objects the
+            cells were generated from; when given, the exhaustive-cell
+            and skipped-cell counters (the Silhouette headline number)
+            are added per row.
+    """
+    table = Table(
+        "Application crash-plan campaign summary",
+        ["scheme", "idiom", "guarantees", "plans"]
+        + list(APP_OUTCOMES)
+        + ["exhaustive", "skipped"],
+    )
+    groups: List[tuple] = []
+    for cell in cells:
+        key = (cell.scheme, cell.idiom)
+        if key not in groups:
+            groups.append(key)
+    for scheme, idiom in groups:
+        mine = [c for c in cells if (c.scheme, c.idiom) == (scheme, idiom)]
+        counts = {outcome: 0 for outcome in APP_OUTCOMES}
+        for cell in mine:
+            counts[cell.classification] += 1
+        if mine[0].compliant:
+            guarantees = "compliant"
+        elif mine[0].relaxed:
+            guarantees = "relaxed"
+        else:
+            guarantees = "none"
+        exhaustive = skipped = 0
+        for plan_set in plan_sets or ():
+            if (plan_set.scheme, plan_set.idiom) == (scheme, idiom):
+                exhaustive += plan_set.exhaustive_cells
+                skipped += plan_set.skipped_cells
+        table.add_row(
+            scheme,
+            idiom,
+            guarantees,
+            len(mine),
+            *(counts[outcome] for outcome in APP_OUTCOMES),
+            exhaustive,
+            skipped,
+        )
+    return table
+
+
+def _verify_app_cells(cells: Sequence[AppCampaignCell], failures: List[str]) -> None:
+    """App-campaign arm of the gate: mismatch = app-level silent corruption."""
+    for cell in cells:
+        where = (
+            f"{cell.scheme}/{cell.idiom}/{cell.workload} "
+            f"victim={cell.victim} drops={','.join(cell.drops) or '-'}"
+        )
+        if cell.problems:
+            failures.append(f"{where}: mechanical invariant broke: {cell.problems}")
+        if cell.classification == APP_MISMATCH and (cell.compliant or cell.relaxed):
+            label = "compliant" if cell.compliant else "relaxed"
+            failures.append(
+                f"{where}: APP-STATE MISMATCH in a {label} scheme "
+                f"(recovered {cell.recovered!r}, legal frames "
+                f"pre={cell.expected_pre!r} post={cell.expected_post!r})"
+            )
+        elif (cell.compliant or cell.relaxed) and not cell.consistent_frame:
+            label = "compliant" if cell.compliant else "relaxed"
+            failures.append(
+                f"{where}: {label} scheme classified {cell.classification}"
+            )
+
+
 def _table1_victim(cells: Sequence[CampaignCell]) -> int:
     """Table I's crash point: the youngest persist of the overwrite."""
     for cell in cells:
@@ -150,22 +227,38 @@ def table2(cells: Sequence[CampaignCell]) -> Table:
 
 
 def verify_campaign(
-    cells: Sequence[CampaignCell], require_tables: bool = True
+    cells: Sequence, require_tables: bool = True
 ) -> None:
     """Gate the campaign: raise on any paper-invariant violation.
 
+    Accepts memory-level :class:`CampaignCell` and application-level
+    :class:`AppCampaignCell` objects, mixed freely.  App cells are held
+    to the mirror of the silent-corruption gate: a ``mismatch``
+    classification (verification accepted the image but the recovered
+    store is in a state the program never produced) in a compliant or
+    relaxed scheme fails loudly, as does any classification outside the
+    legal pre-op/post-op frames.
+
     Args:
-        cells: Classified campaign cells.
+        cells: Classified campaign cells (memory-level, app-level, or
+            both).
         require_tables: Also require every Table I/II row to be present
             and to match the paper (disable for filtered grids that
-            exclude the unordered strawman or its workloads).
+            exclude the unordered strawman or its workloads — forced
+            off when no memory-level cells are present).
 
     Raises:
         CampaignViolation: a compliant scheme silently corrupted or
-            failed to recover, a mechanical WPQ invariant broke, or a
-            regenerated Table I/II row mismatches the paper.
+            failed to recover, an app cell mismatched or left the legal
+            frames, a mechanical WPQ invariant broke, or a regenerated
+            Table I/II row mismatches the paper.
     """
     failures: List[str] = []
+    app_cells = [c for c in cells if isinstance(c, AppCampaignCell)]
+    cells = [c for c in cells if not isinstance(c, AppCampaignCell)]
+    _verify_app_cells(app_cells, failures)
+    if not cells:
+        require_tables = False
 
     for cell in cells:
         where = (

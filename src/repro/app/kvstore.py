@@ -1,0 +1,522 @@
+"""A small crash-safe KV store layered on the functional secure memory.
+
+This is the application half of the Silhouette-style campaign: instead
+of crashing synthetic persist streams, we crash a *program* whose
+recovery procedure has meaning, and ask whether the recovered store is
+a state the program could legally be in.
+
+Two durability idioms are implemented, both as pure lowering functions
+from an operation list to an :class:`AppTrace` of block-level records:
+
+* **snapshot** — snapshot + atomic-rename: each operation writes the
+  full post-op table into the inactive of two alternating regions, then
+  flips a pointer block (the "rename").  The pointer flip is the single
+  commit point; a crash anywhere before it recovers the previous
+  snapshot.
+* **undolog** — in-place slots guarded by an undo log: each operation
+  appends undo records (the old slot contents) and a log head, fsyncs,
+  writes the slots in place, and finally truncates the log (the commit
+  marker).  Recovery rolls incomplete operations back from the log.
+
+The lowering is *deterministic and memory-free*: the same idiom +
+workload always produce the same records, so the crash-plan generator
+(:mod:`repro.campaign.plans`) can reason about persist roles without
+running the crypto pipeline.
+
+Block layout (inside the campaign memory's 4096-block space):
+
+====================  =====  =========================================
+constant              block  role
+====================  =====  =========================================
+``TABLE_A_BASE``          0  region A slots (snapshot) / table (undolog)
+``TABLE_B_BASE``        256  region B slots (snapshot only)
+``POINTER_BLOCK``       512  snapshot pointer block
+``LOG_HEAD_BLOCK``      512  undo-log head (idioms never coexist)
+``LOG_BASE``            576  undo-log records
+====================  =====  =========================================
+
+Each key owns ``value_blocks`` consecutive slot blocks at
+``base + key * value_blocks``; values are chunked 48 bytes per slot
+(64-byte block minus the slot header), so multi-block values exercise
+torn-write crash points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.crypto.primitives import BLOCK_SIZE
+
+IDIOM_SNAPSHOT = "snapshot"
+IDIOM_UNDOLOG = "undolog"
+IDIOMS = (IDIOM_SNAPSHOT, IDIOM_UNDOLOG)
+
+TABLE_A_BASE = 0
+TABLE_B_BASE = 256
+POINTER_BLOCK = 512
+LOG_HEAD_BLOCK = 512
+LOG_BASE = 576
+
+CHUNK_BYTES = 48
+"""Value payload bytes per slot block (64 B minus the 16 B header pad)."""
+
+_MAGIC_SLOT = 0xA5
+_MAGIC_PTR = 0xB7
+_MAGIC_HEAD = 0xC3
+_MAGIC_REC = 0xD9
+
+# Persist roles, the vocabulary of the plan pruner's equivalence
+# classes.  Commit roles move the recovered state; the rest are
+# preparation whose partial durability recovery must tolerate.
+ROLE_SNAP_SLOT = "snap_slot"
+ROLE_SNAP_PTR = "snap_ptr"
+ROLE_LOG_REC = "log_rec"
+ROLE_LOG_HEAD = "log_head"
+ROLE_SLOT_WRITE = "slot_write"
+ROLE_LOG_COMMIT = "log_commit"
+ROLE_GET = "get"
+
+COMMIT_ROLES = frozenset({ROLE_SNAP_PTR, ROLE_LOG_HEAD, ROLE_LOG_COMMIT})
+"""Roles whose durability changes what recovery returns."""
+
+
+# ----------------------------------------------------------------------
+# block encodings
+# ----------------------------------------------------------------------
+
+
+def _pad(raw: bytes) -> bytes:
+    if len(raw) > BLOCK_SIZE:
+        raise ValueError("encoded block exceeds 64 bytes")
+    return raw + bytes(BLOCK_SIZE - len(raw))
+
+
+def encode_slot(key: int, vidx: int, chunk: bytes) -> bytes:
+    """One slot block: header (magic, key, chunk index, length) + chunk."""
+    if len(chunk) > CHUNK_BYTES:
+        raise ValueError("slot chunk exceeds 48 bytes")
+    return _pad(bytes([_MAGIC_SLOT, key & 0xFF, vidx & 0xFF, len(chunk)]) + chunk)
+
+
+def decode_slot(raw: bytes) -> Optional[Tuple[int, int, bytes]]:
+    """``(key, vidx, chunk)`` or ``None`` for empty/foreign blocks."""
+    if len(raw) != BLOCK_SIZE or raw[0] != _MAGIC_SLOT:
+        return None
+    length = raw[3]
+    if length > CHUNK_BYTES:
+        return None
+    return raw[1], raw[2], raw[4 : 4 + length]
+
+
+def encode_pointer(region: int, generation: int) -> bytes:
+    """The snapshot pointer block: which region is live."""
+    return _pad(
+        bytes([_MAGIC_PTR, region & 0x1, generation & 0xFF, (generation >> 8) & 0xFF])
+    )
+
+
+def decode_pointer(raw: bytes) -> Optional[Tuple[int, int]]:
+    if len(raw) != BLOCK_SIZE or raw[0] != _MAGIC_PTR:
+        return None
+    return raw[1], raw[2] | (raw[3] << 8)
+
+
+def encode_log_head(generation: int, count: int) -> bytes:
+    """Undo-log head: generation + live record count (0 == committed)."""
+    return _pad(
+        bytes([_MAGIC_HEAD, generation & 0xFF, (generation >> 8) & 0xFF, count & 0xFF])
+    )
+
+
+def decode_log_head(raw: bytes) -> Optional[Tuple[int, int]]:
+    if len(raw) != BLOCK_SIZE or raw[0] != _MAGIC_HEAD:
+        return None
+    return raw[1] | (raw[2] << 8), raw[3]
+
+
+def encode_undo_record(generation: int, slot_block: int, old_raw: bytes) -> bytes:
+    """One undo record: enough to restore a slot block exactly.
+
+    The old slot content is stored decomposed (was-empty flag + chunk)
+    rather than verbatim — a 64 B block cannot hold another full block —
+    and re-encoded at rollback from the layout-derived (key, vidx).
+    """
+    decoded = decode_slot(old_raw)
+    if decoded is None:
+        flag, chunk = 1, b""
+    else:
+        flag, chunk = 0, decoded[2]
+    header = bytes(
+        [
+            _MAGIC_REC,
+            generation & 0xFF,
+            (generation >> 8) & 0xFF,
+            slot_block & 0xFF,
+            (slot_block >> 8) & 0xFF,
+            flag,
+            len(chunk),
+        ]
+    )
+    return _pad(header + chunk)
+
+
+def decode_undo_record(raw: bytes) -> Optional[Tuple[int, int, bool, bytes]]:
+    """``(generation, slot_block, was_empty, chunk)`` or ``None``."""
+    if len(raw) != BLOCK_SIZE or raw[0] != _MAGIC_REC:
+        return None
+    length = raw[6]
+    if length > CHUNK_BYTES:
+        return None
+    generation = raw[1] | (raw[2] << 8)
+    slot_block = raw[3] | (raw[4] << 8)
+    return generation, slot_block, bool(raw[5]), raw[7 : 7 + length]
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AppWorkload:
+    """A deterministic KV operation list plus its table shape.
+
+    Ops:
+
+    * ``("put", key, value)`` — value is 1..``48 * value_blocks`` bytes.
+    * ``("delete", key)``
+    * ``("get", key)`` — emits verified loads, no persists.
+    * ``("txn", ((key, value_or_None), ...))`` — one atomic multi-key
+      commit (``None`` deletes).
+
+    ``log_fsync=False`` is the fsync-placement variant of the undo-log
+    idiom: the barrier between the in-place slot writes and the commit
+    marker is elided, so both land in one epoch under EP schemes.
+    """
+
+    name: str
+    ops: Tuple[Tuple, ...]
+    num_keys: int = 4
+    value_blocks: int = 1
+    log_fsync: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.num_keys <= 64:
+            raise ValueError("num_keys must be in 1..64")
+        if not 1 <= self.value_blocks <= 4:
+            raise ValueError("value_blocks must be in 1..4")
+        if self.num_keys * self.value_blocks > TABLE_B_BASE:
+            raise ValueError("table does not fit a snapshot region")
+        limit = CHUNK_BYTES * self.value_blocks
+        for op in self.ops:
+            for key, value in self.op_writes(op):
+                if not 0 <= key < self.num_keys:
+                    raise ValueError(f"key {key} out of range in {op!r}")
+                if value is not None and not 1 <= len(value) <= limit:
+                    raise ValueError(
+                        f"value for key {key} must be 1..{limit} bytes"
+                    )
+            if op[0] == "get" and not 0 <= op[1] < self.num_keys:
+                raise ValueError(f"key {op[1]} out of range in {op!r}")
+
+    @staticmethod
+    def op_writes(op: Tuple) -> Tuple[Tuple[int, Optional[bytes]], ...]:
+        """The (key, value-or-None) write set of one op (empty for get)."""
+        kind = op[0]
+        if kind == "put":
+            return ((op[1], op[2]),)
+        if kind == "delete":
+            return ((op[1], None),)
+        if kind == "txn":
+            return tuple(op[1])
+        if kind == "get":
+            return ()
+        raise ValueError(f"unknown app op {kind!r}")
+
+    def slot_block(self, base: int, key: int, vidx: int) -> int:
+        return base + key * self.value_blocks + vidx
+
+    def chunks(self, value: bytes) -> List[bytes]:
+        """Split a value into one chunk per slot block (padded with b'')."""
+        return [
+            value[i * CHUNK_BYTES : (i + 1) * CHUNK_BYTES]
+            for i in range(self.value_blocks)
+        ]
+
+
+def apply_op(state: Dict[int, bytes], op: Tuple) -> Dict[int, bytes]:
+    """The abstract KV semantics of one op (pure)."""
+    new = dict(state)
+    for key, value in AppWorkload.op_writes(op):
+        if value is None:
+            new.pop(key, None)
+        else:
+            new[key] = bytes(value)
+    return new
+
+
+# ----------------------------------------------------------------------
+# lowering: ops -> block-level records
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AppRecord:
+    """One lowered memory action of the KV store.
+
+    ``kind`` is ``"store"``, ``"load"``, or ``"barrier"``; ``app_index``
+    is the operation the action belongs to; ``role`` names the action's
+    job in the idiom's protocol (the pruner's vocabulary).
+    """
+
+    kind: str
+    block: int
+    data: bytes
+    app_index: int
+    role: str
+
+
+@dataclass(frozen=True)
+class AppTrace:
+    """A lowered workload: records plus the abstract state timeline.
+
+    ``states[0]`` is the empty store; ``states[i + 1]`` is the state
+    after op ``i`` — the pre-op/post-op frames of the differential
+    validator.
+    """
+
+    idiom: str
+    workload: AppWorkload
+    records: Tuple[AppRecord, ...]
+    states: Tuple[Dict[int, bytes], ...]
+
+    @property
+    def op_count(self) -> int:
+        return len(self.states) - 1
+
+    @property
+    def store_count(self) -> int:
+        return sum(1 for r in self.records if r.kind == "store")
+
+
+def _encode_table(
+    workload: AppWorkload, base: int, state: Dict[int, bytes]
+) -> Dict[int, bytes]:
+    """Slot-block contents encoding ``state`` at ``base`` (absent keys
+    have no entry: their blocks must read as zero)."""
+    image: Dict[int, bytes] = {}
+    for key in sorted(state):
+        for vidx, chunk in enumerate(workload.chunks(state[key])):
+            image[workload.slot_block(base, key, vidx)] = encode_slot(
+                key, vidx, chunk
+            )
+    return image
+
+
+def _lower_snapshot(workload: AppWorkload) -> AppTrace:
+    records: List[AppRecord] = []
+    states: List[Dict[int, bytes]] = [{}]
+    regions = {0: TABLE_A_BASE, 1: TABLE_B_BASE}
+    region_content: Dict[int, Dict[int, bytes]] = {0: {}, 1: {}}
+    active: Optional[int] = None
+    generation = 0
+    for index, op in enumerate(workload.ops):
+        state = states[-1]
+        if op[0] == "get":
+            for vidx in range(workload.value_blocks):
+                block = workload.slot_block(
+                    regions[active] if active is not None else TABLE_A_BASE,
+                    op[1],
+                    vidx,
+                )
+                records.append(AppRecord("load", block, b"", index, ROLE_GET))
+            states.append(dict(state))
+            continue
+        new_state = apply_op(state, op)
+        target = 0 if active is None else 1 - active
+        desired = _encode_table(workload, regions[target], new_state)
+        current = region_content[target]
+        # Write the new snapshot: changed slots plus zeroing of stale
+        # slots left over from two operations ago.
+        for block in sorted(set(desired) | set(current)):
+            want = desired.get(block, bytes(BLOCK_SIZE))
+            if current.get(block, bytes(BLOCK_SIZE)) != want:
+                records.append(
+                    AppRecord("store", block, want, index, ROLE_SNAP_SLOT)
+                )
+        records.append(AppRecord("barrier", 0, b"", index, ROLE_SNAP_SLOT))
+        # The atomic rename: flip the pointer, then fsync it.
+        generation += 1
+        records.append(
+            AppRecord(
+                "store",
+                POINTER_BLOCK,
+                encode_pointer(target, generation),
+                index,
+                ROLE_SNAP_PTR,
+            )
+        )
+        records.append(AppRecord("barrier", 0, b"", index, ROLE_SNAP_PTR))
+        region_content[target] = desired
+        active = target
+        states.append(new_state)
+    return AppTrace(IDIOM_SNAPSHOT, workload, tuple(records), tuple(states))
+
+
+def _lower_undolog(workload: AppWorkload) -> AppTrace:
+    records: List[AppRecord] = []
+    states: List[Dict[int, bytes]] = [{}]
+    table: Dict[int, bytes] = {}
+    generation = 0
+    for index, op in enumerate(workload.ops):
+        state = states[-1]
+        if op[0] == "get":
+            for vidx in range(workload.value_blocks):
+                block = workload.slot_block(TABLE_A_BASE, op[1], vidx)
+                records.append(AppRecord("load", block, b"", index, ROLE_GET))
+            states.append(dict(state))
+            continue
+        new_state = apply_op(state, op)
+        desired = _encode_table(workload, TABLE_A_BASE, new_state)
+        updates: List[Tuple[int, bytes]] = []
+        for key, value in AppWorkload.op_writes(op):
+            for vidx in range(workload.value_blocks):
+                block = workload.slot_block(TABLE_A_BASE, key, vidx)
+                want = desired.get(block, bytes(BLOCK_SIZE))
+                if table.get(block, bytes(BLOCK_SIZE)) != want:
+                    updates.append((block, want))
+        if not updates:
+            states.append(new_state)
+            continue
+        generation += 1
+        # Publish the undo log: old contents + head, then fsync.
+        for j, (block, _) in enumerate(updates):
+            old = table.get(block, bytes(BLOCK_SIZE))
+            records.append(
+                AppRecord(
+                    "store",
+                    LOG_BASE + j,
+                    encode_undo_record(generation, block, old),
+                    index,
+                    ROLE_LOG_REC,
+                )
+            )
+        records.append(
+            AppRecord(
+                "store",
+                LOG_HEAD_BLOCK,
+                encode_log_head(generation, len(updates)),
+                index,
+                ROLE_LOG_HEAD,
+            )
+        )
+        records.append(AppRecord("barrier", 0, b"", index, ROLE_LOG_HEAD))
+        # In-place slot writes, guarded by the published log.
+        for block, want in updates:
+            records.append(
+                AppRecord("store", block, want, index, ROLE_SLOT_WRITE)
+            )
+            table[block] = want
+        if workload.log_fsync:
+            records.append(
+                AppRecord("barrier", 0, b"", index, ROLE_SLOT_WRITE)
+            )
+        # Commit: truncate the log (count=0) and fsync.
+        records.append(
+            AppRecord(
+                "store",
+                LOG_HEAD_BLOCK,
+                encode_log_head(generation, 0),
+                index,
+                ROLE_LOG_COMMIT,
+            )
+        )
+        records.append(AppRecord("barrier", 0, b"", index, ROLE_LOG_COMMIT))
+        states.append(new_state)
+    return AppTrace(IDIOM_UNDOLOG, workload, tuple(records), tuple(states))
+
+
+def lower(idiom: str, workload: AppWorkload) -> AppTrace:
+    """Lower a workload under one durability idiom."""
+    if idiom == IDIOM_SNAPSHOT:
+        return _lower_snapshot(workload)
+    if idiom == IDIOM_UNDOLOG:
+        return _lower_undolog(workload)
+    raise ValueError(f"unknown idiom {idiom!r} (supported: {', '.join(IDIOMS)})")
+
+
+def replay_app(mem, trace: AppTrace) -> None:
+    """Apply a lowered app trace to a functional secure memory."""
+    for record in trace.records:
+        if record.kind == "store":
+            mem.store(record.block * BLOCK_SIZE, record.data)
+        elif record.kind == "load":
+            mem.load(record.block * BLOCK_SIZE)
+        elif record.kind == "barrier":
+            mem.barrier()
+        else:  # pragma: no cover - lowering emits only the three kinds
+            raise ValueError(f"unknown record kind {record.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# recovery
+# ----------------------------------------------------------------------
+
+
+def _decode_table(
+    workload: AppWorkload, base: int, read: Callable[[int], bytes]
+) -> Dict[int, bytes]:
+    state: Dict[int, bytes] = {}
+    for key in range(workload.num_keys):
+        first = decode_slot(read(workload.slot_block(base, key, 0)))
+        if first is None or first[0] != key:
+            continue
+        value = b""
+        for vidx in range(workload.value_blocks):
+            decoded = decode_slot(read(workload.slot_block(base, key, vidx)))
+            if decoded is not None:
+                value += decoded[2]
+        state[key] = value
+    return state
+
+
+def recover_app(
+    idiom: str, workload: AppWorkload, read: Callable[[int], bytes]
+) -> Dict[int, bytes]:
+    """Run the idiom's recovery procedure over verified block reads.
+
+    ``read`` is expected to verify integrity (MAC + BMT) and raise on a
+    rejected block — the campaign passes the recovered memory's
+    :meth:`~repro.system.secure_memory.FunctionalSecureMemory.load`.
+    """
+    if idiom == IDIOM_SNAPSHOT:
+        pointer = decode_pointer(read(POINTER_BLOCK))
+        if pointer is None:
+            return {}
+        base = TABLE_A_BASE if pointer[0] == 0 else TABLE_B_BASE
+        return _decode_table(workload, base, read)
+    if idiom == IDIOM_UNDOLOG:
+        head = decode_log_head(read(LOG_HEAD_BLOCK))
+        patch: Dict[int, bytes] = {}
+        if head is not None and head[1] > 0:
+            # An uncommitted operation: roll its slots back from the log.
+            for j in range(head[1]):
+                rec = decode_undo_record(read(LOG_BASE + j))
+                if rec is None or rec[0] != head[0]:
+                    continue
+                _, slot, was_empty, chunk = rec
+                if was_empty:
+                    patch[slot] = bytes(BLOCK_SIZE)
+                else:
+                    key = (slot - TABLE_A_BASE) // workload.value_blocks
+                    vidx = (slot - TABLE_A_BASE) % workload.value_blocks
+                    patch[slot] = encode_slot(key, vidx, chunk)
+
+        def patched(block: int) -> bytes:
+            if block in patch:
+                return patch[block]
+            return read(block)
+
+        return _decode_table(workload, TABLE_A_BASE, patched)
+    raise ValueError(f"unknown idiom {idiom!r} (supported: {', '.join(IDIOMS)})")

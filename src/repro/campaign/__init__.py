@@ -33,10 +33,42 @@ from repro.campaign.engine import (
     CampaignCell,
     run_scenario,
 )
-from repro.campaign.runner import CampaignCache, default_campaign_cache_root, run_campaign
+from repro.campaign.runner import (
+    AppCampaignCache,
+    CampaignCache,
+    default_campaign_cache_root,
+    run_app_campaign,
+    run_campaign,
+)
+from repro.campaign.app_engine import (
+    APP_CAMPAIGN_SCHEMES,
+    AppCampaignCell,
+    AppScenario,
+    app_journal_plan,
+    app_scenario_key,
+    run_app_scenario,
+)
+from repro.campaign.plans import (
+    CrashPlan,
+    PlanSet,
+    crosscheck_pruning,
+    generate_plans,
+)
 
 __all__ = [
+    "APP_CAMPAIGN_SCHEMES",
+    "AppCampaignCache",
+    "AppCampaignCell",
+    "AppScenario",
     "CAMPAIGN_SCHEMES",
+    "CrashPlan",
+    "PlanSet",
+    "app_journal_plan",
+    "app_scenario_key",
+    "crosscheck_pruning",
+    "generate_plans",
+    "run_app_campaign",
+    "run_app_scenario",
     "CampaignCache",
     "CampaignCell",
     "DROP_SUBSETS",

@@ -166,6 +166,97 @@ def _delivery_plan(
     ]
 
 
+@dataclass
+class FlushOutcome:
+    """What the WPQ power-failure flush decided for one crash cell.
+
+    Shared between the memory-level and app-level engines (and reused
+    combinatorially, without crypto, by the crash-plan pruner in
+    :mod:`repro.campaign.plans`).
+    """
+
+    persisted: List
+    invalidated: List
+    problems: List[str]
+    epochs_complete: List[List[int]]
+
+    @property
+    def persisted_ids(self) -> List[int]:
+        return sorted(e.persist_id for e in self.persisted)
+
+    @property
+    def invalidated_ids(self) -> List[int]:
+        return sorted(e.persist_id for e in self.invalidated)
+
+
+def drive_wpq(
+    sem: SchemeSemantics,
+    journal: Sequence,
+    victim: int,
+    drops: Set[TupleItem],
+    geometry: BMTGeometry,
+    telemetry=None,
+) -> FlushOutcome:
+    """Drive a real WPQ through the power failure for one crash cell."""
+    n = len(journal)
+    wpq = WritePendingQueue(capacity=max(1, n), telemetry=telemetry)
+    arrived = _delivery_plan(sem, journal, victim, drops, geometry)
+    for p, record in enumerate(journal):
+        wpq.allocate(p, epoch_id=record.epoch_id, locked=sem.atomic)
+        for item in _NVM_ITEMS:
+            if item in arrived[p]:
+                wpq.deliver(p, item)
+    for p in range(n):
+        if TupleItem.ROOT_ACK in arrived[p]:
+            wpq.ack_root(p)
+
+    entries = [wpq.entry(p) for p in range(n)]
+    problems = check_tuple_complete(entries)
+    epochs_complete = [
+        [epoch, int(wpq.epoch_complete(epoch))]
+        for epoch in sorted({r.epoch_id for r in journal})
+    ]
+    persisted, invalidated = wpq.crash_flush()
+
+    if sem.atomic:
+        # Relaxed-root schemes legally release non-prefix sets: a
+        # victim's unchained ack failure invalidates only the victim,
+        # while younger complete persists still release.
+        persisted_ids = sorted(e.persist_id for e in persisted)
+        if sem.ordered_root and persisted_ids != list(range(len(persisted_ids))):
+            problems.append(
+                f"ordered release is not a journal prefix: {persisted_ids}"
+            )
+        for entry in invalidated:
+            if entry.drained:
+                drained = sorted(item.value for item in entry.drained)
+                problems.append(
+                    f"locked persist {entry.persist_id} invalidated with "
+                    f"drained items: {drained}"
+                )
+    return FlushOutcome(persisted, invalidated, problems, epochs_complete)
+
+
+def build_injector(sem: SchemeSemantics, outcome: FlushOutcome) -> CrashInjector:
+    """Convert a flush outcome into the fault injection it implies."""
+    injector = CrashInjector()
+    for entry in outcome.persisted:
+        lost = [item for item in _NVM_ITEMS if item not in entry.drained]
+        if TupleItem.ROOT_ACK not in entry.arrived:
+            lost.append(TupleItem.ROOT_ACK)
+        if lost:
+            injector.drop(entry.persist_id, *lost)
+    for entry in outcome.invalidated:
+        lost = list(_NVM_ITEMS)
+        # 2SP commits the durable-root register at entry release, so an
+        # invalidated entry's root update is discarded with its tuple;
+        # the unordered strawman's register races ahead of gathering.
+        if sem.atomic or TupleItem.ROOT_ACK not in entry.arrived:
+            lost.append(TupleItem.ROOT_ACK)
+        injector.drop(entry.persist_id, *lost)
+    return injector
+
+
 def run_scenario(scenario: Scenario, telemetry=None) -> CampaignCell:
     """Crash, recover, and classify one grid cell.
 
@@ -188,59 +279,16 @@ def run_scenario(scenario: Scenario, telemetry=None) -> CampaignCell:
     drops = set(scenario.drop_items)
 
     # ---- drive a real WPQ through the power failure ------------------
-    wpq = WritePendingQueue(capacity=max(1, n), telemetry=telemetry)
-    arrived = _delivery_plan(sem, journal, scenario.victim, drops, mem.geometry)
-    for p, record in enumerate(journal):
-        wpq.allocate(p, epoch_id=record.epoch_id, locked=sem.atomic)
-        for item in _NVM_ITEMS:
-            if item in arrived[p]:
-                wpq.deliver(p, item)
-    for p in range(n):
-        if TupleItem.ROOT_ACK in arrived[p]:
-            wpq.ack_root(p)
-
-    entries = [wpq.entry(p) for p in range(n)]
-    problems = check_tuple_complete(entries)
-    epochs_complete = [
-        [epoch, int(wpq.epoch_complete(epoch))]
-        for epoch in sorted({r.epoch_id for r in journal})
-    ]
-    persisted, invalidated = wpq.crash_flush()
-    persisted_ids = sorted(e.persist_id for e in persisted)
-    invalidated_ids = sorted(e.persist_id for e in invalidated)
-
-    if sem.atomic:
-        # Relaxed-root schemes legally release non-prefix sets: a
-        # victim's unchained ack failure invalidates only the victim,
-        # while younger complete persists still release.
-        if sem.ordered_root and persisted_ids != list(range(len(persisted_ids))):
-            problems.append(
-                f"ordered release is not a journal prefix: {persisted_ids}"
-            )
-        for entry in invalidated:
-            if entry.drained:
-                drained = sorted(item.value for item in entry.drained)
-                problems.append(
-                    f"locked persist {entry.persist_id} invalidated with "
-                    f"drained items: {drained}"
-                )
+    outcome = drive_wpq(
+        sem, journal, scenario.victim, drops, mem.geometry, telemetry
+    )
+    problems = outcome.problems
+    epochs_complete = outcome.epochs_complete
+    persisted_ids = outcome.persisted_ids
+    invalidated_ids = outcome.invalidated_ids
 
     # ---- flush outcome -> fault injection ----------------------------
-    injector = CrashInjector()
-    for entry in persisted:
-        lost = [item for item in _NVM_ITEMS if item not in entry.drained]
-        if TupleItem.ROOT_ACK not in entry.arrived:
-            lost.append(TupleItem.ROOT_ACK)
-        if lost:
-            injector.drop(entry.persist_id, *lost)
-    for entry in invalidated:
-        lost = list(_NVM_ITEMS)
-        # 2SP commits the durable-root register at entry release, so an
-        # invalidated entry's root update is discarded with its tuple;
-        # the unordered strawman's register races ahead of gathering.
-        if sem.atomic or TupleItem.ROOT_ACK not in entry.arrived:
-            lost.append(TupleItem.ROOT_ACK)
-        injector.drop(entry.persist_id, *lost)
+    injector = build_injector(sem, outcome)
 
     # ---- writer's intent ---------------------------------------------
     intent: Dict[int, bytes] = {}

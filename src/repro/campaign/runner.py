@@ -16,6 +16,12 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.campaign.app_engine import (
+    AppCampaignCell,
+    AppScenario,
+    app_scenario_key,
+    run_app_scenario,
+)
 from repro.campaign.engine import CampaignCell, run_scenario
 from repro.campaign.grid import Scenario, scenario_key
 from repro.sweep.cache import JSONCache, caching_disabled, code_version
@@ -74,4 +80,51 @@ def run_campaign(
     keys = [scenario_key(scenario, code) for scenario in scenarios]
     return run_tasks(
         list(scenarios), keys, run_scenario, workers=workers, cache=cell_cache
+    )
+
+
+class AppCampaignCache(JSONCache):
+    """Content-addressed :class:`AppCampaignCell` files.
+
+    Lives in an ``app/`` subdirectory of the campaign cache root so the
+    two cell shapes never share a directory.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        super().__init__(
+            root if root is not None else default_campaign_cache_root() / "app"
+        )
+
+    def _encode(self, value: AppCampaignCell) -> Dict:
+        return asdict(value)
+
+    def _decode(self, payload: Dict) -> AppCampaignCell:
+        return AppCampaignCell(**payload)
+
+
+def run_app_campaign(
+    scenarios: Sequence[AppScenario],
+    workers: Optional[int] = None,
+    cache: Union[AppCampaignCache, str, bool, None] = True,
+) -> Tuple[List[AppCampaignCell], SweepReport]:
+    """Run app-campaign cells in parallel through the app cell cache.
+
+    Mirrors :func:`run_campaign`; only roster workloads are cacheable
+    (dynamic :class:`~repro.app.kvstore.AppWorkload` objects must go
+    through :func:`~repro.campaign.app_engine.run_app_scenario`
+    directly, as their content is not part of the scenario key).
+    """
+    cell_cache: Optional[AppCampaignCache] = None
+    if not caching_disabled():
+        if isinstance(cache, AppCampaignCache):
+            cell_cache = cache
+        elif cache is True:
+            cell_cache = AppCampaignCache()
+        elif isinstance(cache, (str, os.PathLike)):
+            cell_cache = AppCampaignCache(cache)
+
+    code = code_version()
+    keys = [app_scenario_key(scenario, code) for scenario in scenarios]
+    return run_tasks(
+        list(scenarios), keys, run_app_scenario, workers=workers, cache=cell_cache
     )

@@ -349,6 +349,104 @@ def cmd_crash_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_app_campaign(args: argparse.Namespace) -> int:
+    """Application-level crash-plan campaign over the KV store idioms."""
+    import json
+    from dataclasses import asdict
+
+    from repro.analysis.campaign import (
+        CampaignViolation,
+        summarize_app,
+        verify_campaign,
+    )
+    from repro.app.workloads import APP_WORKLOADS, CROSSCHECK_WORKLOAD
+    from repro.campaign import (
+        APP_CAMPAIGN_SCHEMES,
+        crosscheck_pruning,
+        generate_plans,
+        run_app_campaign,
+    )
+    from repro.app.kvstore import IDIOMS
+
+    schemes = (
+        [s.strip() for s in args.schemes.split(",") if s.strip()]
+        if args.schemes
+        else list(APP_CAMPAIGN_SCHEMES)
+    )
+    idioms = (
+        [i.strip() for i in args.idioms.split(",") if i.strip()]
+        if args.idioms
+        else list(IDIOMS)
+    )
+    workloads = (
+        [w.strip() for w in args.workloads.split(",") if w.strip()]
+        if args.workloads
+        else sorted(APP_WORKLOADS)
+    )
+
+    plan_sets = []
+    scenarios = []
+    for scheme in schemes:
+        for idiom in idioms:
+            for workload in workloads:
+                plan_set = generate_plans(scheme, idiom, workload)
+                plan_sets.append(plan_set)
+                scenarios.extend(plan.scenario for plan in plan_set.plans)
+    cells, report = run_app_campaign(
+        scenarios, workers=args.jobs, cache=not args.no_cache
+    )
+
+    print(summarize_app(cells, plan_sets))
+    exhaustive = sum(ps.exhaustive_cells for ps in plan_sets)
+    skipped = sum(ps.skipped_cells for ps in plan_sets)
+    print()
+    print(
+        f"pruning: ran {len(scenarios)} representative plans for "
+        f"{exhaustive} exhaustive cells ({skipped} skipped, "
+        f"{skipped / exhaustive:.1%})" if exhaustive else "pruning: empty grid"
+    )
+    print(f"campaign: {report.summary()}")
+
+    crosschecks = []
+    if args.exhaustive:
+        print()
+        for scheme in schemes:
+            for idiom in idioms:
+                result = crosscheck_pruning(scheme, idiom, CROSSCHECK_WORKLOAD)
+                crosschecks.append(result)
+                verdict = "sound" if result["agree"] else "UNSOUND"
+                print(
+                    f"cross-check {scheme}/{idiom}/{CROSSCHECK_WORKLOAD}: "
+                    f"{result['cells']} cells vs {result['plans']} plans -> "
+                    f"{verdict} ({result['missed_mismatches']} missed mismatches)"
+                )
+
+    if args.out:
+        payload = {
+            "plan_sets": [ps.as_dict() for ps in plan_sets],
+            "cells": [asdict(cell) for cell in cells],
+            "crosschecks": crosschecks,
+            "report": report.as_dict(),
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"wrote {args.out} ({len(cells)} cells)")
+
+    if any(not result["agree"] for result in crosschecks):
+        print("\nFAIL: pruning cross-check found a missed plan", file=sys.stderr)
+        return 1
+    try:
+        verify_campaign(cells, require_tables=False)
+    except CampaignViolation as violation:
+        print(f"\nFAIL: {violation}", file=sys.stderr)
+        return 1
+    print(
+        "verify: every compliant/relaxed cell recovered to a legal "
+        "pre-op/post-op state (zero mismatches)"
+    )
+    return 0
+
+
 def _bar(value: float, scale: float, width: int = 40) -> str:
     filled = max(1, round(value / scale * width)) if value > 0 else 0
     return "#" * min(width, filled)
@@ -572,6 +670,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--out", default=None, help="write campaign JSON here")
     campaign.set_defaults(func=cmd_crash_campaign)
+
+    app_campaign = sub.add_parser(
+        "app-campaign",
+        help="application-level crash-plan campaign (crash-safe KV store)",
+    )
+    app_campaign.add_argument(
+        "--schemes",
+        default=None,
+        help="comma-separated schemes (default: the app-campaign roster)",
+    )
+    app_campaign.add_argument(
+        "--idioms",
+        default=None,
+        help="comma-separated durability idioms (default: snapshot,undolog)",
+    )
+    app_campaign.add_argument(
+        "--workloads",
+        default=None,
+        help="comma-separated app workload names (default: all)",
+    )
+    app_campaign.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="also run the exhaustive pruning cross-check on the smoke workload",
+    )
+    app_campaign.add_argument("--jobs", type=int, default=1, help="worker processes")
+    app_campaign.add_argument(
+        "--no-cache", action="store_true", help="bypass the on-disk app-cell cache"
+    )
+    app_campaign.add_argument("--out", default=None, help="write campaign JSON here")
+    app_campaign.set_defaults(func=cmd_app_campaign)
 
     timeline = sub.add_parser(
         "timeline",

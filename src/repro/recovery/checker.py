@@ -22,6 +22,47 @@ from repro.recovery.tuple_state import DurableRoot, NVMImage
 
 BLOCKS_PER_PAGE = 64
 
+# ----------------------------------------------------------------------
+# application-state differential classification
+# ----------------------------------------------------------------------
+#
+# The app campaign (repro.campaign.app_engine) recovers a KV store from
+# the crashed image and asks which legal state it landed in.  A store
+# that equals neither frame is the application-level analogue of silent
+# corruption: verification accepted the image, but the program sees a
+# state it could never have been in (torn or stale values).
+
+APP_PRE_OP = "pre_op"
+APP_POST_OP = "post_op"
+APP_MISMATCH = "mismatch"
+APP_DETECTED = "detected"
+APP_OUTCOMES = (APP_PRE_OP, APP_POST_OP, APP_MISMATCH, APP_DETECTED)
+
+
+def classify_app_state(
+    recovered: Dict[int, bytes],
+    pre_state: Dict[int, bytes],
+    post_state: Dict[int, bytes],
+) -> str:
+    """Classify a recovered application state against its two legal frames.
+
+    Args:
+        recovered: ``key -> value`` the application's recovery returned.
+        pre_state: The state before the in-flight operation.
+        post_state: The state after it.
+
+    Returns:
+        :data:`APP_POST_OP` when the recovered store equals the post-op
+        frame (checked first: a completed no-op is indistinguishable
+        from its pre-state and counts as completed), :data:`APP_PRE_OP`
+        for the pre-op frame, else :data:`APP_MISMATCH`.
+    """
+    if recovered == post_state:
+        return APP_POST_OP
+    if recovered == pre_state:
+        return APP_PRE_OP
+    return APP_MISMATCH
+
 
 @dataclass
 class BlockOutcome:

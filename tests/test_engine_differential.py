@@ -159,3 +159,41 @@ def test_engine_excluded_from_cache_key():
 
     base = SystemConfig()
     assert config_digest(base) == config_digest(base.variant(engine="stepped"))
+
+
+# ----------------------------------------------------------------------
+# KV-store traces: application-shaped streams through every engine
+# ----------------------------------------------------------------------
+
+from repro.app.workloads import app_memory_trace
+from repro.campaign.app_engine import APP_CAMPAIGN_SCHEMES
+
+APP_SCHEMES = [UpdateScheme.from_name(name) for name in APP_CAMPAIGN_SCHEMES]
+
+
+@pytest.mark.parametrize("idiom", ["snapshot", "undolog"])
+@pytest.mark.parametrize("scheme", APP_SCHEMES, ids=lambda s: s.value)
+def test_kv_traces_bit_identical(scheme, idiom):
+    """The lowered KV-store traces — log runs, pointer flips,
+    barrier-dense commit sequences — produce bit-identical results
+    under all three engine families for the whole app-campaign roster."""
+    trace = app_memory_trace(idiom, "txn", reps=2)
+    out = run_both(SystemConfig(scheme=scheme), trace)
+    assert out["batched"][0] == out["skip_ahead"][0] == out["stepped"][0]
+
+
+@pytest.mark.parametrize("idiom", ["snapshot", "undolog"])
+def test_kv_trace_telemetry_identical(idiom):
+    """With the bus on, the KV trace's event streams match event for
+    event (the barrier-heavy shape stresses epoch bookkeeping)."""
+    trace = app_memory_trace(idiom, "deferred_fsync", reps=2)
+    out = run_both(random_config(11, UpdateScheme.COALESCING, telemetry=True), trace)
+    assert out["batched"] == out["skip_ahead"] == out["stepped"]
+
+
+@pytest.mark.parametrize("idiom", ["snapshot", "undolog"])
+@pytest.mark.parametrize("seed", [21, 22])
+def test_kv_traces_randomized_configs(idiom, seed):
+    trace = app_memory_trace(idiom, "torn")
+    out = run_both(random_config(seed, UpdateScheme.O3), trace)
+    assert out["batched"][0] == out["skip_ahead"][0] == out["stepped"][0]

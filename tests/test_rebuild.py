@@ -238,3 +238,169 @@ def test_scheme_estimates_validate_parameters(small_geometry):
         model.estimate_for_scheme(UpdateScheme.TRIAD_NVM, triad_persist_levels=0)
     with pytest.raises(ValueError):
         model.estimate_for_scheme(UpdateScheme.ANUBIS, shadow_entries=0)
+
+
+# ----------------------------------------------------------------------
+# measured recovery: the replay vs the analytic estimate
+# ----------------------------------------------------------------------
+
+# How far each scheme's analytic estimate may sit from a measured
+# replay of the same recovery on the functional memory image:
+#
+# * ``touched`` (PLP schemes with a touched-page map) and ``phoenix``
+#   are exact — the model counts precisely the distinct path labels /
+#   the one verified root path the replay computes.
+# * ``sgx_sp`` differs by exactly one node: the analytic estimate
+#   charges the root *comparison* as a hash, the replay recomputes
+#   nothing.
+# * ``triad_nvm`` and ``anubis`` are dense upper bounds: the analytic
+#   model assumes a full frontier level / a full shadow table, while
+#   the measured replay touches only the sparse durable image, so
+#   measured <= analytic always, with equality at full footprint.
+MEASURED_TOLERANCE = {
+    "touched": 0,
+    "lazy_path": 0,
+    "root_check": 1,
+    "triad_frontier": None,  # upper bound only
+    "shadow_replay": None,  # upper bound only
+}
+
+
+@pytest.fixture(scope="module")
+def drained_app_memory():
+    """A functional memory after a cleanly drained KV-store run."""
+    from repro.app.kvstore import lower, replay_app
+    from repro.app.workloads import resolve_workload
+    from repro.campaign.grid import build_memory, semantics_for
+
+    mem = build_memory(semantics_for("sp"))
+    replay_app(mem, lower("undolog", resolve_workload("basic")))
+    mem.drain()
+    return mem
+
+
+def test_measured_recovery_golden_values(drained_app_memory):
+    """Pin the measured counts of the basic/undolog image.
+
+    The workload touches pages 0 (KV table), 8 (log head), and 9 (log
+    records): 3 counter blocks, 3 leaf hashes + 2 distinct parents +
+    the root = 6 nodes.
+    """
+    from repro.recovery.rebuild import measure_recovery
+
+    mem = drained_app_memory
+    assert sorted(mem.nvm.counters) == [0, 8, 9]
+    measured = measure_recovery(mem)
+    assert measured.root_ok
+    assert measured.strategy == "touched"
+    assert measured.counter_blocks_read == 3
+    assert measured.nodes_recomputed == 6
+
+
+def test_measured_matches_touched_estimate_exactly(drained_app_memory):
+    """The analytic touched estimate predicts the replay to the node."""
+    from repro.recovery.rebuild import RecoveryTimeModel, measure_recovery
+
+    mem = drained_app_memory
+    model = RecoveryTimeModel(mem.geometry)
+    measured = measure_recovery(mem, model=model)
+    analytic = model.estimate("touched", sorted(mem.nvm.counters))
+    assert measured.counter_blocks_read == analytic.counter_blocks_read
+    assert measured.nodes_recomputed == analytic.nodes_recomputed
+    assert measured.estimate.total_cycles == analytic.total_cycles
+
+
+def test_measured_per_scheme_within_documented_tolerance(drained_app_memory):
+    """Every scheme's measured replay sits within MEASURED_TOLERANCE
+    of the analytic estimate — the depth PR 8 left open."""
+    from repro.recovery.rebuild import RecoveryTimeModel, measure_recovery
+
+    mem = drained_app_memory
+    model = RecoveryTimeModel(mem.geometry)
+    touched = sorted(mem.nvm.counters)
+    for scheme in (
+        UpdateScheme.TRIAD_NVM,
+        UpdateScheme.PHOENIX,
+        UpdateScheme.ANUBIS,
+        UpdateScheme.SGX_SP,
+    ):
+        measured = measure_recovery(mem, model=model, scheme=scheme)
+        analytic = model.estimate_for_scheme(scheme, touched_pages=touched)
+        assert measured.root_ok, scheme
+        assert measured.strategy == analytic.strategy
+        tolerance = MEASURED_TOLERANCE[measured.strategy]
+        if tolerance is None:
+            assert measured.nodes_recomputed <= analytic.nodes_recomputed
+            assert measured.counter_blocks_read <= analytic.counter_blocks_read
+        else:
+            assert (
+                abs(measured.nodes_recomputed - analytic.nodes_recomputed)
+                <= tolerance
+            )
+            assert measured.counter_blocks_read == analytic.counter_blocks_read
+
+
+def test_measured_scheme_golden_values(drained_app_memory):
+    """Golden measured counts per scheme on the basic/undolog image."""
+    from repro.recovery.rebuild import measure_recovery
+
+    mem = drained_app_memory
+    golden = {
+        UpdateScheme.TRIAD_NVM: (2, 1),  # 2 frontier parents, root only
+        UpdateScheme.PHOENIX: (3, 3),  # one 3-level path
+        UpdateScheme.ANUBIS: (3, 6),  # shadow = the 3 touched pages
+        UpdateScheme.SGX_SP: (1, 0),  # stored-root comparison
+    }
+    for scheme, (reads, nodes) in golden.items():
+        measured = measure_recovery(mem, scheme=scheme)
+        assert measured.counter_blocks_read == reads, scheme
+        assert measured.nodes_recomputed == nodes, scheme
+
+
+def test_measured_dense_footprint_meets_dense_estimates():
+    """At full footprint the sparse/dense gap closes: triad's measured
+    frontier equals the analytic level count."""
+    from repro.recovery.rebuild import RecoveryTimeModel, measure_recovery
+    from repro.campaign.grid import build_memory, semantics_for
+    from repro.system.secure_memory import BLOCK_SIZE, BLOCKS_PER_PAGE
+
+    mem = build_memory(semantics_for("sp"))
+    for page in range(64):
+        mem.store(page * BLOCKS_PER_PAGE * BLOCK_SIZE, b"x" * BLOCK_SIZE)
+    mem.drain()
+    model = RecoveryTimeModel(mem.geometry)
+    measured = measure_recovery(mem, model=model, scheme=UpdateScheme.TRIAD_NVM)
+    analytic = model.estimate_for_scheme(UpdateScheme.TRIAD_NVM)
+    assert measured.root_ok
+    assert measured.counter_blocks_read == analytic.counter_blocks_read
+    assert measured.nodes_recomputed == analytic.nodes_recomputed
+
+
+def test_measured_detects_root_divergence(drained_app_memory):
+    """A tampered counter block flips root_ok without raising."""
+    from repro.recovery.rebuild import measure_recovery
+
+    mem = drained_app_memory
+    snapshot = dict(mem.nvm.counters)
+    try:
+        mem.nvm.counters[0] = bytes([0xFF]) * 64
+        measured = measure_recovery(mem)
+        assert not measured.root_ok
+    finally:
+        mem.nvm.counters.clear()
+        mem.nvm.counters.update(snapshot)
+
+
+def test_measured_validates_parameters(drained_app_memory):
+    from repro.recovery.rebuild import measure_recovery
+
+    with pytest.raises(ValueError):
+        measure_recovery(
+            drained_app_memory,
+            scheme=UpdateScheme.TRIAD_NVM,
+            triad_persist_levels=0,
+        )
+    with pytest.raises(ValueError):
+        measure_recovery(
+            drained_app_memory, scheme=UpdateScheme.ANUBIS, shadow_entries=0
+        )
